@@ -1,0 +1,47 @@
+"""F3 — Figure 3: featurization logging and the pivoted dataframe.
+
+Measures the instrumented featurization loop over a corpus sweep and checks
+that the pivoted view has one row per page with the figure's columns
+(text_src, headings, page_numbers) addressable by document and page.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro import active_session
+from repro.docs.corpus import generate_corpus
+from repro.docs.featurize import featurize_corpus
+
+SCALES = [4, 8, 16]
+
+
+@pytest.mark.parametrize("num_documents", SCALES)
+def test_figure3_featurization(benchmark, make_session, num_documents):
+    session = make_session(f"f3_{num_documents}")
+    corpus = generate_corpus(num_documents=num_documents, min_pages=3, max_pages=8, seed=1)
+
+    def run():
+        with active_session(session):
+            features = list(featurize_corpus(corpus))
+            session.commit("featurize")
+        return features
+
+    features = benchmark.pedantic(run, rounds=1, iterations=1)
+    frame = session.dataframe("text_src", "headings", "page_numbers", "first_page")
+    report(
+        f"F3: featurization of {num_documents} documents",
+        [
+            {
+                "documents": num_documents,
+                "pages": corpus.total_pages,
+                "pivot_rows": len(frame),
+                "log_records": session.logs.count(),
+            }
+        ],
+    )
+    assert len(features) == corpus.total_pages
+    assert len(frame) == corpus.total_pages
+    assert {"document_value", "page"} <= set(frame.columns)
+    assert set(frame["text_src"].unique()) <= {"OCR", "TXT"}

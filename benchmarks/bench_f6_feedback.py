@@ -1,0 +1,57 @@
+"""F6 — Figure 6: the human-in-the-loop feedback routes.
+
+Simulates expert review sessions posting corrected page colors through the
+web application and measures the cost of a feedback round plus the
+``get_colors`` query path (dataframe join + latest + fallback).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.mlops import LabelStore
+from repro.workloads import PipelineWorkload
+
+
+def test_figure6_feedback_loop(benchmark, make_session, tmp_path):
+    session = make_session("f6")
+    workload = PipelineWorkload(documents=6, max_pages=6, epochs=1, seed=6)
+    executor, pipeline = workload.build_executor(session, tmp_path / "build")
+    executor.build("run")
+    app = pipeline.state.app
+    client = app.test_client()
+    documents = pipeline.state.corpus.document_names()
+
+    def expert_round():
+        saved = 0
+        for name in documents[:4]:
+            colors = list(range(len(pipeline.state.corpus.get(name))))
+            response = client.post("/save_colors", json_body={"pdf_name": name, "colors": colors})
+            assert response.status == 200
+            saved += response.json()["count"]
+        return saved
+
+    saved = benchmark.pedantic(expert_round, rounds=1, iterations=1)
+
+    # get_colors reflects the corrections for reviewed documents and falls
+    # back to derived colors for the rest.
+    reviewed = app.get_colors(documents[0])
+    unreviewed = app.get_colors(documents[-1])
+    store = LabelStore(session, filename="app.py")
+    coverage = store.coverage("page_color", documents)
+
+    report(
+        "F6: feedback round",
+        [
+            {
+                "labels_saved": saved,
+                "reviewed_docs": 4,
+                "coverage": coverage["coverage"],
+                "reviewed_colors": str(reviewed),
+                "unreviewed_colors": str(unreviewed),
+            }
+        ],
+    )
+    assert saved == sum(len(pipeline.state.corpus.get(n)) for n in documents[:4])
+    assert reviewed == list(range(len(pipeline.state.corpus.get(documents[0]))))
+    assert coverage["human_labelled"] == 4

@@ -1,0 +1,93 @@
+"""T2 — Replay latency vs. full re-execution.
+
+The paper claims hindsight queries are answered "without the need for full
+re-execution" via checkpoint seeking.  This benchmark records a training
+script with an expensive per-epoch body, then materializes a new statement
+for only the final epoch in two ways:
+
+* baseline: replay every iteration (equivalent to re-running the script),
+* differential: replay with ``ReplayPlan.only(epoch=[last])``.
+
+Expected shape: differential replay executes roughly ``1/N`` of the epochs
+(plus the checkpoint-bridging epochs) and is correspondingly faster.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+from conftest import report
+
+from repro import HindsightEngine, ReplayPlan, active_session, flor
+from repro.core.checkpoint import EveryIterationPolicy
+
+EPOCHS = 12
+WORK_PER_EPOCH = 4000  # inner busy-loop units; keeps the benchmark CPU-bound
+
+SCRIPT = textwrap.dedent(
+    f"""
+    state = {{"w": 0.0}}
+    with flor.checkpointing(state=state):
+        for epoch in flor.loop("epoch", range({EPOCHS})):
+            acc = 0.0
+            for i in range({WORK_PER_EPOCH}):
+                acc += (i % 7) * 0.001
+            state["w"] += acc
+            flor.log("loss", 1.0 / (1.0 + state["w"]))
+    """
+).strip()
+
+NEW_SCRIPT = SCRIPT.replace(
+    'flor.log("loss", 1.0 / (1.0 + state["w"]))',
+    'flor.log("loss", 1.0 / (1.0 + state["w"]))\n        flor.log("weight", state["w"])',
+)
+
+
+@pytest.fixture()
+def recorded(make_session):
+    session = make_session("t2", checkpoint_policy=EveryIterationPolicy())
+    (session.config.root / "train.py").write_text(SCRIPT)
+    session.track("train.py")
+    namespace = {"__file__": "train.py", "flor": flor}
+    with active_session(session):
+        exec(compile(SCRIPT, "train.py", "exec"), namespace)  # noqa: S102
+        session.commit("recorded run")
+    return session
+
+
+def test_replay_speedup(benchmark, recorded):
+    engine = HindsightEngine(recorded)
+
+    full = engine.backfill("train.py", new_source=NEW_SCRIPT)
+    focused = benchmark.pedantic(
+        lambda: engine.backfill(
+            "train.py",
+            new_source=NEW_SCRIPT,
+            plan=ReplayPlan.only(epoch=[EPOCHS - 1]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = full.wall_seconds / focused.wall_seconds if focused.wall_seconds else float("inf")
+    report(
+        "T2: full replay vs. differential replay of the last epoch",
+        [
+            {
+                "mode": "full replay",
+                "epochs_executed": full.iterations_executed,
+                "seconds": full.wall_seconds,
+            },
+            {
+                "mode": "differential (epoch 11 only)",
+                "epochs_executed": focused.iterations_executed,
+                "seconds": focused.wall_seconds,
+                "speedup_x": speedup,
+            },
+        ],
+    )
+    # Shape: the differential replay touches far fewer iterations.
+    assert focused.iterations_executed <= 2
+    assert focused.iterations_skipped >= EPOCHS - 2
+    assert full.iterations_executed == EPOCHS

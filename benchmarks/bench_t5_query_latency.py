@@ -1,0 +1,47 @@
+"""T5 — Dataframe query latency over growing log volume.
+
+The paper claims log statements are readable "as tabular data ... queried
+via Pandas or SQL" with no wrangling.  This benchmark grows the ``logs``
+table and measures the latency of the pivoted ``flor.dataframe`` query plus
+the Figure 6-style filter + latest chain.  Expected shape: latency grows
+roughly linearly with the number of matching log records.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.relational.queries import latest
+from repro.workloads import LoggingWorkload
+
+#: (runs, loops per run) sweep — total records = runs × loops × 4 names.
+SCALES = [(2, 100), (4, 250), (8, 500)]
+
+
+@pytest.mark.parametrize("runs,loops", SCALES, ids=[f"{r}x{l}" for r, l in SCALES])
+def test_dataframe_query_latency(benchmark, make_session, runs, loops):
+    session = make_session(f"t5_{runs}_{loops}")
+    workload = LoggingWorkload(runs=runs, loops_per_run=loops, values_per_loop=4)
+    workload.populate(session)
+
+    def query():
+        frame = session.dataframe("metric_0", "metric_1", "metric_2")
+        newest = latest(frame)
+        filtered = newest[newest.metric_0 > 0.5]
+        return len(frame), len(newest), len(filtered)
+
+    total_rows, latest_rows, filtered_rows = benchmark(query)
+    report(
+        f"T5: query over {workload.record_count} log records",
+        [
+            {
+                "log_records": workload.record_count,
+                "pivot_rows": total_rows,
+                "latest_rows": latest_rows,
+                "filtered_rows": filtered_rows,
+            }
+        ],
+    )
+    assert total_rows == runs * loops
+    assert latest_rows == loops

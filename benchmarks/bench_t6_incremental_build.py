@@ -1,0 +1,58 @@
+"""T6 — Incremental build avoidance after a single-stage change.
+
+The demo claims FlorDB-driven pipelines re-run "only the parts of the
+workflow that have been selected".  This benchmark builds the full pipeline,
+invalidates one mid-pipeline input (featurize.py), rebuilds, and compares the
+re-executed stage count and wall-clock against a forced full rebuild.
+Expected shape: the incremental rebuild touches only the downstream stages
+and costs a fraction of the full rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.workloads import PipelineWorkload
+
+
+def test_incremental_build_avoidance(benchmark, make_session, tmp_path):
+    session = make_session("t6")
+    workload = PipelineWorkload(documents=4, max_pages=5, epochs=2, seed=3)
+    executor, _pipeline = workload.build_executor(session, tmp_path / "build")
+
+    start = time.perf_counter()
+    initial = executor.build("run")
+    full_seconds = time.perf_counter() - start
+    assert len(initial.executed) == 5
+
+    cached = executor.build("run")
+    assert cached.executed == []
+
+    time.sleep(0.01)
+    (tmp_path / "build" / "featurize.py").write_text("# featurization tweak\n")
+
+    start = time.perf_counter()
+    incremental = benchmark.pedantic(lambda: executor.build("run"), rounds=1, iterations=1)
+    incremental_seconds = time.perf_counter() - start
+
+    forced = executor.build("run", force=True)
+
+    report(
+        "T6: rebuild after touching featurize.py",
+        [
+            {"build": "initial (cold)", "stages_executed": len(initial.executed), "seconds": full_seconds},
+            {"build": "unchanged", "stages_executed": 0, "seconds": 0.0},
+            {
+                "build": "featurize.py touched",
+                "stages_executed": len(incremental.executed),
+                "seconds": incremental_seconds,
+                "stages": ",".join(incremental.executed),
+            },
+            {"build": "forced full", "stages_executed": len(forced.executed), "seconds": None},
+        ],
+    )
+    assert set(incremental.executed) == {"featurize", "train", "infer", "run"}
+    assert "process_pdfs" not in incremental.executed
+    assert len(forced.executed) == 5

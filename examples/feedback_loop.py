@@ -1,0 +1,77 @@
+"""Closing the loop: human feedback through the web UI improves the model.
+
+Reproduces Section 4.4 of the paper:
+
+1. the pipeline processes documents and trains a first-page classifier,
+2. the feedback web application serves predictions as "page colors",
+3. simulated experts correct the colors for a few documents via
+   ``POST /save_colors`` (recorded with full provenance),
+4. the corrected labels are folded into a second training run, and the
+   model registry shows which run inference would now select.
+
+Run with ``python examples/feedback_loop.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import ProjectConfig, Session
+from repro.mlops import LabelStore, MetricRegistry
+from repro.pipeline import PdfPipeline
+
+
+def simulate_expert(pipeline: PdfPipeline, document_name: str) -> list[int]:
+    """An expert derives the true page colors from document structure."""
+    document = pipeline.state.corpus.get(document_name)
+    colors, color = [], -1
+    for page in document.pages:
+        if page.is_first_page or page.heading is not None:
+            color += 1
+        colors.append(max(color, 0))
+    return colors
+
+
+def main() -> None:
+    root = Path(__file__).resolve().parent / "example_runs" / "feedback_loop"
+    session = Session(ProjectConfig(root, "feedback-loop"))
+    pipeline = PdfPipeline(session, documents=5, max_pages=6, epochs=3, seed=3)
+
+    print("--- initial pipeline run ---")
+    pipeline.run_all()
+    registry = MetricRegistry(session)
+    print("  ", registry.render("acc"))
+    print("  ", registry.render("recall"))
+
+    app = pipeline.state.app
+    client = app.test_client()
+    documents = pipeline.state.corpus.document_names()
+
+    print("\n--- experts review and correct page colors through the UI ---")
+    for name in documents[:3]:
+        corrected = simulate_expert(pipeline, name)
+        response = client.post("/save_colors", json_body={"pdf_name": name, "colors": corrected})
+        print(f"  {name}: saved {response.json()['count']} colors (status {response.status})")
+
+    labels = LabelStore(session, filename="app.py")
+    coverage = labels.coverage("page_color", documents)
+    print(f"\nhuman-label coverage: {coverage['human_labelled']:.0f}/{coverage['entities']:.0f} documents")
+
+    print("\n--- colors now served back by the UI reflect the corrections ---")
+    for name in documents[:3]:
+        print(f"  {name}: {app.get_colors(name)}")
+
+    print("\n--- retrain with the feedback in history, then compare runs ---")
+    pipeline.train()
+    session.commit("retraining after feedback")
+    comparison = registry.compare_runs(["acc", "recall"])
+    print(comparison.to_string())
+
+    best = pipeline.registry.best("recall")
+    print(f"\nmodel registry: inference now selects the run at {best['tstamp']} (recall={best['recall']:.3f})")
+
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

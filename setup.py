@@ -1,0 +1,10 @@
+"""Compatibility shim for editable installs in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``python setup.py develop`` keeps working where the ``wheel`` package
+(required by PEP 517 editable builds on older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Reproduction of FlorDB (CIDR 2025): incremental context maintenance for ML.
+
+Typical usage mirrors the paper::
+
+    from repro import flor
+
+    for epoch in flor.loop("epoch", range(5)):
+        ...
+        flor.log("loss", loss)
+    flor.commit()
+
+    df = flor.dataframe("loss")          # pivoted view across all versions
+
+Subpackages
+-----------
+``repro.core``        the Flor API, record/replay runtime and hindsight logging
+``repro.relational``  the SQLite data model of Figure 1
+``repro.dataframe``   a mini dataframe engine (pandas substitute)
+``repro.versioning``  a content-addressed version store (git substitute)
+``repro.build``       a Make-like incremental build substrate
+``repro.ml``          a NumPy training substrate (torch substitute)
+``repro.docs``        a synthetic document corpus and featurization
+``repro.mlops``       feature-store / model-registry / label-store roles
+``repro.webapp``      the human-in-the-loop feedback web application
+``repro.workloads``   synthetic workload generators for the benchmarks
+"""
+
+from .config import ProjectConfig
+from .core.api import FlorFacade, flor
+from .core.hindsight import BackfillReport, HindsightEngine
+from .core.replay import ReplayPlan
+from .core.session import Session, active_session
+from .dataframe import DataFrame
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "flor",
+    "FlorFacade",
+    "Session",
+    "active_session",
+    "ProjectConfig",
+    "HindsightEngine",
+    "BackfillReport",
+    "ReplayPlan",
+    "DataFrame",
+    "ReproError",
+    "__version__",
+]

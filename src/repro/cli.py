@@ -1,0 +1,177 @@
+"""Command-line interface to a FlorDB project.
+
+The paper positions FlorDB as open, low-friction tooling that fits the
+developer's existing workflow; the CLI is the shell-side of that story.  It
+operates on the ``.flor`` home of a project directory and never requires the
+original training scripts to be importable.
+
+Subcommands
+-----------
+``names``      list every log name recorded for the project
+``versions``   list version epochs (ts2vid joined with commit metadata)
+``dataframe``  print the pivoted view of one or more log names
+``sql``        run a read-only SQL statement (optionally over a pivoted view)
+``stats``      table row counts and storage summary
+``backfill``   multiversion hindsight logging for a script in the project
+
+Example::
+
+    python -m repro.cli --project ./myproj dataframe acc recall
+    python -m repro.cli --project ./myproj sql "SELECT COUNT(*) FROM logs"
+    python -m repro.cli --project ./myproj backfill train.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .config import ProjectConfig
+from .core.hindsight import HindsightEngine
+from .core.replay import ReplayPlan
+from .core.session import Session
+from .errors import ReproError
+from .relational.schema import TABLES
+
+
+def _open_session(args: argparse.Namespace) -> Session:
+    config = ProjectConfig(Path(args.project), args.projid or "")
+    return Session(config)
+
+
+def _cmd_names(args: argparse.Namespace) -> int:
+    with _open_session(args) as session:
+        names = session.logs.distinct_names(session.projid)
+        for name in names:
+            print(name)
+        if not names:
+            print("(no log names recorded)", file=sys.stderr)
+    return 0
+
+
+def _cmd_versions(args: argparse.Namespace) -> int:
+    with _open_session(args) as session:
+        epochs = session.ts2vid.all(session.projid)
+        if not epochs:
+            print("(no versions recorded)", file=sys.stderr)
+            return 0
+        commits = {c.vid: c for c in session.repository.log()}
+        print(f"{'ts_start':<28} {'vid':<18} {'files':>5}  message")
+        for epoch in epochs:
+            commit = commits.get(epoch.vid)
+            files = len(commit.files) if commit else 0
+            message = commit.message if commit else ""
+            print(f"{epoch.ts_start:<28} {epoch.vid:<18} {files:>5}  {message}")
+    return 0
+
+
+def _cmd_dataframe(args: argparse.Namespace) -> int:
+    with _open_session(args) as session:
+        frame = session.dataframe(*args.names)
+        if args.latest:
+            from .relational.queries import latest
+
+            frame = latest(frame)
+        print(frame.to_string(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    with _open_session(args) as session:
+        frame = session.sql(args.query, names=args.names or ())
+        print(frame.to_string(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open_session(args) as session:
+        print(f"project:  {session.projid}")
+        print(f"database: {session.config.db_path}")
+        for table in TABLES:
+            if table == "meta":
+                continue
+            print(f"{table:>12}: {session.db.count(table)} rows")
+        print(f"{'commits':>12}: {len(session.repository)}")
+        print(f"{'log names':>12}: {len(session.logs.distinct_names(session.projid))}")
+    return 0
+
+
+def _cmd_backfill(args: argparse.Namespace) -> int:
+    with _open_session(args) as session:
+        engine = HindsightEngine(session)
+        plan = ReplayPlan.all()
+        if args.epoch is not None:
+            plan = ReplayPlan.only(**{args.loop: list(args.epoch)})
+        new_source = Path(args.source).read_text() if args.source else None
+        report = engine.backfill(
+            args.filename,
+            new_source=new_source,
+            plan=plan,
+            parallelism=args.parallelism,
+            max_workers=args.workers,
+        )
+        summary = report.summary()
+        for key, value in summary.items():
+            print(f"{key:>22}: {value}")
+        for version in report.versions:
+            status = "ok" if version.ok else f"error: {version.error or version.replay.error}"
+            print(f"  {version.vid}  injected={version.injected_statements}  {status}")
+        return 0 if all(v.ok for v in report.versions) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flordb",
+        description="Query and maintain the FlorDB context of a project directory.",
+    )
+    parser.add_argument("--project", default=".", help="project root (directory containing .flor)")
+    parser.add_argument("--projid", default=None, help="override the project id")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("names", help="list recorded log names")
+    sub.set_defaults(func=_cmd_names)
+
+    sub = subparsers.add_parser("versions", help="list version epochs")
+    sub.set_defaults(func=_cmd_versions)
+
+    sub = subparsers.add_parser("dataframe", help="print the pivoted view of log names")
+    sub.add_argument("names", nargs="+", help="log names to pivot into columns")
+    sub.add_argument("--latest", action="store_true", help="only rows of the newest run")
+    sub.add_argument("--max-rows", type=int, default=50)
+    sub.set_defaults(func=_cmd_dataframe)
+
+    sub = subparsers.add_parser("sql", help="run a read-only SQL statement")
+    sub.add_argument("query")
+    sub.add_argument("--names", nargs="*", default=None, help="pivot these names into a temp 'pivot' table first")
+    sub.add_argument("--max-rows", type=int, default=50)
+    sub.set_defaults(func=_cmd_sql)
+
+    sub = subparsers.add_parser("stats", help="table row counts and storage summary")
+    sub.set_defaults(func=_cmd_stats)
+
+    sub = subparsers.add_parser("backfill", help="multiversion hindsight logging for a script")
+    sub.add_argument("filename", help="script path relative to the project root (as recorded)")
+    sub.add_argument("--source", default=None, help="file holding the new source (default: working copy)")
+    sub.add_argument("--parallelism", choices=["serial", "thread", "process"], default="serial")
+    sub.add_argument("--workers", type=int, default=4)
+    sub.add_argument("--loop", default="epoch", help="loop name restricted by --epoch")
+    sub.add_argument("--epoch", type=int, nargs="*", default=None, help="only replay these iterations")
+    sub.set_defaults(func=_cmd_backfill)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""FlorDB core: the Flor API, record/replay runtime and hindsight logging.
+
+Layering (bottom to top):
+
+* :mod:`context`       — loop/context bookkeeping shared by record and replay,
+* :mod:`checkpoint`    — adaptive checkpointing of registered objects,
+* :mod:`session`       — the runtime behind ``flor.*`` calls (record & replay),
+* :mod:`dataframe_view`— the pivoted ``flor.dataframe`` construction,
+* :mod:`propagation`   — cross-version log-statement propagation,
+* :mod:`replay`        — replay plans and script re-execution,
+* :mod:`hindsight`     — multiversion hindsight logging orchestration,
+* :mod:`api`           — the module-level ``flor``-style facade.
+"""
+
+from .api import FlorFacade
+from .checkpoint import (
+    AdaptiveCheckpointPolicy,
+    CheckpointManager,
+    EveryIterationPolicy,
+    FixedIntervalPolicy,
+    NeverCheckpointPolicy,
+)
+from .context import ContextState, LoopFrame, TimestampGenerator
+from .hindsight import BackfillReport, HindsightEngine, VersionBackfill
+from .propagation import PropagationResult, propagate_statements, find_flor_statements
+from .replay import ReplayPlan, ReplayResult, replay_source
+from .session import Session, active_session, get_active_session
+
+__all__ = [
+    "FlorFacade",
+    "Session",
+    "active_session",
+    "get_active_session",
+    "ContextState",
+    "LoopFrame",
+    "TimestampGenerator",
+    "CheckpointManager",
+    "AdaptiveCheckpointPolicy",
+    "FixedIntervalPolicy",
+    "EveryIterationPolicy",
+    "NeverCheckpointPolicy",
+    "ReplayPlan",
+    "ReplayResult",
+    "replay_source",
+    "PropagationResult",
+    "propagate_statements",
+    "find_flor_statements",
+    "HindsightEngine",
+    "BackfillReport",
+    "VersionBackfill",
+]

@@ -1,0 +1,119 @@
+"""The ``flor``-style public facade.
+
+The paper's API is a module with free functions (``flor.log``,
+``flor.loop``, ...).  Here those functions live on a :class:`FlorFacade`
+instance exported as ``repro.flor`` (and re-exported as ``repro.core.api.flor``)
+so that the same call sites work in three situations:
+
+* ordinary scripts using the process-wide default session,
+* tests and pipelines that activate an explicit :class:`Session`, and
+* replayed historical sources exec'd by the hindsight engine, which bind the
+  facade into the replay namespace.
+
+Every facade call resolves the active session at call time, which is what
+makes record and replay transparent to user code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..config import ProjectConfig
+from ..dataframe import DataFrame
+from ..relational import queries as _queries
+from .session import Session, active_session, get_active_session, set_default_session_factory
+
+
+class FlorUtils:
+    """Namespace mirroring ``flor.utils`` from the paper (Figure 6)."""
+
+    @staticmethod
+    def latest(frame: DataFrame, column: str = "tstamp") -> DataFrame:
+        """Rows of the most recent run present in ``frame``."""
+        return _queries.latest(frame, column)
+
+
+class FlorFacade:
+    """Callable surface of FlorDB; delegates to the active session."""
+
+    def __init__(self) -> None:
+        self.utils = FlorUtils()
+
+    # ------------------------------------------------------------- sessions
+    @staticmethod
+    def session() -> Session:
+        """The session currently serving flor calls (created lazily)."""
+        return get_active_session()
+
+    @staticmethod
+    def init(
+        root: str | Path | None = None,
+        projid: str | None = None,
+        **session_kwargs: Any,
+    ) -> Session:
+        """Create a session rooted at ``root`` and install it as the default.
+
+        Intended for applications that want an explicit project home instead
+        of directory discovery (e.g. the PDF-parser demo app).
+        """
+        config = ProjectConfig(Path(root) if root else Path.cwd(), projid or "")
+        session = Session(config, **session_kwargs)
+        set_default_session_factory(lambda: session)
+        return session
+
+    @staticmethod
+    @contextmanager
+    def using(session: Session) -> Iterator[Session]:
+        """Scope flor calls to ``session`` within the block."""
+        with active_session(session) as active:
+            yield active
+
+    # ------------------------------------------------------------------ API
+    def log(self, name: str, value: Any) -> Any:
+        """Log ``value`` under ``name`` in the current loop context; returns it."""
+        return get_active_session().log(name, value)
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        """Read a command-line or historical hyperparameter value."""
+        return get_active_session().arg(name, default)
+
+    def loop(self, name: str, vals: Iterable[Any]) -> Iterator[Any]:
+        """Instrumented loop over ``vals`` named ``name``."""
+        return get_active_session().loop(name, vals)
+
+    def checkpointing(self, mapping: Mapping[str, Any] | None = None, /, **objects: Any):
+        """Context manager registering objects for adaptive checkpointing."""
+        return get_active_session().checkpointing(mapping, **objects)
+
+    def iteration(self, name: str, index: int | None, value: Any):
+        """Manually scoped loop iteration (for web handlers and workers)."""
+        return get_active_session().iteration(name, index, value)
+
+    def commit(self, message: str = "") -> str | None:
+        """Flush records, snapshot tracked files and advance the timestamp."""
+        return get_active_session().commit(message)
+
+    def dataframe(self, *names: str) -> DataFrame:
+        """Pivoted view of the requested log names across all versions."""
+        return get_active_session().dataframe(*names)
+
+    def sql(self, query: str, names: Sequence[str] = (), params: Sequence[Any] = ()) -> DataFrame:
+        """Read-only SQL over the context store (optionally over a pivoted view)."""
+        return get_active_session().sql(query, names=names, params=params)
+
+    def track(self, *paths: str | Path) -> None:
+        """Track source files so that ``flor.commit`` versions them."""
+        get_active_session().track(*paths)
+
+    # ----------------------------------------------------------- diagnostics
+    def pending_records(self) -> int:
+        return get_active_session().pending_records
+
+    def flush(self) -> None:
+        get_active_session().flush()
+
+
+#: Singleton facade; imported by user code as ``from repro import flor``.
+flor = FlorFacade()

@@ -1,0 +1,243 @@
+"""Construction of the pivoted ``flor.dataframe`` view.
+
+The ``logs`` table is long-format (one row per logged value); the user-facing
+view is wide-format with one column per requested log name.  This module
+defines the pivot semantics used throughout the reproduction:
+
+1. Every requested log record is annotated with its loop dimensions
+   (``document``, ``page``, ``epoch``, ``step``, ...) via
+   :func:`repro.relational.queries.long_format_records`.
+2. Names that co-occur within at least one run (same ``tstamp`` and
+   ``filename``) form a *group*; each group pivots into rows keyed by
+   ``(projid, tstamp, filename, dimensions...)``.  Values logged at a
+   shallower nesting level than the group's deepest level are broadcast down
+   to the deeper rows of the same run (e.g. a per-epoch ``acc`` repeats on
+   every per-step ``loss`` row).
+3. Groups that never co-occur (e.g. ``first_page`` logged by
+   ``featurize.py`` and ``page_color`` logged by the feedback web app) are
+   combined left-to-right with a left join on ``projid`` plus the dimension
+   columns they share.  The joined row keeps the left group's ``filename``
+   and the later of the two timestamps, which lets ``flor.utils.latest``
+   select the most recent feedback exactly as in Figure 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..dataframe import DataFrame, from_records, merge
+from ..relational.database import Database
+from ..relational.queries import AnnotatedLog, BASE_DIMENSIONS, long_format_records
+
+#: Columns that identify a run (as opposed to a loop position within a run).
+RUN_COLUMNS = list(BASE_DIMENSIONS)
+
+
+def build_dataframe(db: Database, projid: str, names: Sequence[str]) -> DataFrame:
+    """Build the pivoted view for ``names`` (see module docstring for semantics)."""
+    names = [str(n) for n in names]
+    if not names:
+        return DataFrame()
+    records = long_format_records(db, projid, names)
+    if not records:
+        return from_records([], columns=RUN_COLUMNS + names)
+    groups = _co_occurrence_groups(records, names)
+    frames = [_pivot_group(records, group) for group in groups]
+    frames = [f for f in frames if not f.empty]
+    if not frames:
+        return from_records([], columns=RUN_COLUMNS + names)
+    result = frames[0]
+    for frame in frames[1:]:
+        result = _join_groups(result, frame)
+    # Requested names that were never logged still appear as all-null columns,
+    # so queries like Figure 6's ``infer.page_color.isna()`` work before any
+    # feedback exists.
+    for name in names:
+        if name not in result:
+            result[name] = [None] * len(result)
+    return _order_columns(result, names)
+
+
+# ---------------------------------------------------------------------------
+# Grouping
+# ---------------------------------------------------------------------------
+
+def _co_occurrence_groups(records: list[AnnotatedLog], names: Sequence[str]) -> list[list[str]]:
+    """Partition requested names into groups that co-occur within some run.
+
+    Group order follows the order of ``names`` so that the first requested
+    name anchors the left side of any cross-group join (Figure 6 relies on
+    this: ``dataframe("first_page", "page_color")`` keeps every page row).
+    """
+    runs_by_name: dict[str, set[tuple[str, str]]] = {name: set() for name in names}
+    for record in records:
+        if record.value_name in runs_by_name:
+            runs_by_name[record.value_name].add((record.tstamp, record.filename))
+    groups: list[list[str]] = []
+    assigned: set[str] = set()
+    for name in names:
+        if name in assigned:
+            continue
+        group = [name]
+        assigned.add(name)
+        changed = True
+        while changed:
+            changed = False
+            for other in names:
+                if other in assigned:
+                    continue
+                if any(runs_by_name[other] & runs_by_name[member] for member in group):
+                    group.append(other)
+                    assigned.add(other)
+                    changed = True
+        groups.append(group)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Pivoting one group
+# ---------------------------------------------------------------------------
+
+def _pivot_group(records: list[AnnotatedLog], group: list[str]) -> DataFrame:
+    """Pivot the records of one co-occurrence group into a wide frame."""
+    wanted = set(group)
+    group_records = [r for r in records if r.value_name in wanted]
+    if not group_records:
+        return DataFrame()
+    dim_order = _dimension_order(group_records)
+
+    # Index records per run so that broadcasting stays within a run.
+    runs: dict[tuple[str, str, str], list[AnnotatedLog]] = {}
+    for record in group_records:
+        runs.setdefault((record.projid, record.tstamp, record.filename), []).append(record)
+
+    rows: dict[tuple, dict[str, Any]] = {}
+    row_order: list[tuple] = []
+    for run_key, run_records in runs.items():
+        max_depth = max(r.depth for r in run_records)
+        deep_records = [r for r in run_records if r.depth == max_depth]
+        shallow_records = [r for r in run_records if r.depth < max_depth]
+        if not deep_records:
+            deep_records = run_records
+            shallow_records = []
+        for record in deep_records:
+            key = run_key + record.dimension_key()
+            if key not in rows:
+                rows[key] = _new_row(record, dim_order)
+                row_order.append(key)
+            rows[key][record.value_name] = record.value
+        for record in shallow_records:
+            prefix = record.dimension_key()
+            matched = False
+            for key in row_order:
+                if key[:3] != run_key:
+                    continue
+                if key[3: 3 + len(prefix)] == prefix:
+                    rows[key].setdefault(record.value_name, record.value)
+                    rows[key][record.value_name] = record.value
+                    matched = True
+            if not matched:
+                key = run_key + prefix
+                if key not in rows:
+                    rows[key] = _new_row(record, dim_order)
+                    row_order.append(key)
+                rows[key][record.value_name] = record.value
+    columns = RUN_COLUMNS + _dimension_columns(dim_order) + group
+    return from_records((rows[key] for key in row_order), columns)
+
+
+def _new_row(record: AnnotatedLog, dim_order: list[str]) -> dict[str, Any]:
+    row: dict[str, Any] = {
+        "projid": record.projid,
+        "tstamp": record.tstamp,
+        "filename": record.filename,
+    }
+    for dim in dim_order:
+        row[dim] = record.dimensions.get(dim)
+        row[f"{dim}_value"] = record.dimension_values.get(f"{dim}_value")
+    return row
+
+
+def _dimension_order(records: list[AnnotatedLog]) -> list[str]:
+    """Loop names ordered outermost-first as they appear across records."""
+    order: list[str] = []
+    for record in records:
+        for dim in record.dimensions:
+            if dim not in order:
+                order.append(dim)
+    return order
+
+
+def _dimension_columns(dim_order: list[str]) -> list[str]:
+    columns: list[str] = []
+    for dim in dim_order:
+        columns.append(dim)
+        columns.append(f"{dim}_value")
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# Joining groups
+# ---------------------------------------------------------------------------
+
+def _join_groups(left: DataFrame, right: DataFrame) -> DataFrame:
+    """Left-join two group pivots on projid plus their shared dimension values.
+
+    The join aligns on the ``<loop>_value`` columns rather than the raw
+    iteration indices: two files logging about the same document share the
+    document *name*, while their loop enumeration order may differ (the
+    feedback app labels documents in the order experts open them).
+    """
+    shared_values = [
+        c
+        for c in left.columns
+        if c in right.columns and c.endswith("_value") and c not in RUN_COLUMNS
+    ]
+    if shared_values:
+        keys = ["projid"] + shared_values
+    else:
+        shared_dims = [c for c in left.columns if c in right.columns and c not in RUN_COLUMNS]
+        keys = ["projid"] + shared_dims
+    right = _latest_per_key(right, keys)
+    joined = merge(left, right, on=keys, how="left", suffixes=("", "_rhs"))
+    # Collapse run columns: keep the left filename, take the max tstamp.
+    if "tstamp_rhs" in joined:
+        tstamps = []
+        for row in joined.to_records():
+            lhs, rhs = row.get("tstamp"), row.get("tstamp_rhs")
+            tstamps.append(max(v for v in (lhs, rhs) if v is not None) if (lhs or rhs) else None)
+        joined["tstamp"] = tstamps
+        joined = joined.drop("tstamp_rhs")
+    for column in list(joined.columns):
+        if column.endswith("_rhs"):
+            joined = joined.drop(column)
+    return joined
+
+
+def _latest_per_key(frame: DataFrame, keys: Sequence[str]) -> DataFrame:
+    """Keep only the most recent row (by tstamp) for each join-key combination.
+
+    The right-hand side of a cross-source join represents "the current value
+    of this metadata for this entity" (e.g. the newest expert label for a
+    page); older contributions remain queryable directly but do not fan out
+    the join.
+    """
+    if frame.empty or "tstamp" not in frame:
+        return frame
+    usable_keys = [k for k in keys if k in frame.columns]
+    best_index: dict[tuple, int] = {}
+    for i in range(len(frame)):
+        row = frame.row(i)
+        key = tuple(row.get(k) for k in usable_keys)
+        current = best_index.get(key)
+        if current is None or (row.get("tstamp") or "") >= (frame.row(current).get("tstamp") or ""):
+            best_index[key] = i
+    return frame.take(sorted(best_index.values()))
+
+
+def _order_columns(frame: DataFrame, names: Sequence[str]) -> DataFrame:
+    """Stable column order: run columns, dimensions, then requested names."""
+    run_cols = [c for c in RUN_COLUMNS if c in frame.columns]
+    name_cols = [c for c in names if c in frame.columns]
+    dim_cols = [c for c in frame.columns if c not in run_cols and c not in name_cols]
+    return frame.select(run_cols + dim_cols + name_cols)

@@ -1,0 +1,657 @@
+"""The runtime behind every ``flor.*`` call.
+
+A :class:`Session` owns the project database, the version repository and the
+checkpoint manager, and implements both execution modes:
+
+* **record** — the normal mode: log statements append to a buffer that is
+  flushed on ``commit()`` (or when a dataframe is requested), loops allocate
+  fresh context ids, and the checkpoint policy decides when to serialize
+  registered objects.
+* **replay** — used by hindsight logging: the session is pinned to a
+  historical ``(tstamp, filename)`` run, loops re-use the recorded context
+  ids, iterations outside the replay plan are skipped (restoring the nearest
+  checkpoint when needed), ``flor.arg`` returns historical values, and newly
+  logged values are attributed to the historical timestamp.
+
+Sessions are activated on a stack so that exec'd replay scripts and nested
+tools always reach the intended runtime through the module-level facade.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import sysconfig
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..config import ProjectConfig
+from ..errors import RecordingError, ReplayError
+from ..relational.database import Database
+from ..relational.records import LogRecord, LoopRecord, Ts2VidRecord
+from ..relational.repositories import (
+    BuildDepRepository,
+    LogRepository,
+    LoopRepository,
+    ObjectRepository,
+    Ts2VidRepository,
+)
+from ..versioning.repository import Commit, Repository
+from .checkpoint import CheckpointKey, CheckpointManager, CheckpointPolicy
+from .context import (
+    TOP_LEVEL_CTX,
+    ContextState,
+    TimestampGenerator,
+    stringify_iteration_value,
+)
+
+_PACKAGE_DIR = str(Path(__file__).resolve().parent.parent)
+_STDLIB_DIR = sysconfig.get_paths()["stdlib"]
+
+_timestamps = TimestampGenerator()
+
+
+@lru_cache(maxsize=4096)
+def _classify_user_file(candidate: str) -> str | None:
+    """Basename of ``candidate`` if it is user code, else None.
+
+    Files inside this package or the standard library are library plumbing
+    and never the logging origin.  The result is cached because resolving a
+    path touches the filesystem and hot loops ask about the same few files.
+    """
+    resolved = str(Path(candidate).resolve())
+    if resolved.startswith(_PACKAGE_DIR) or resolved.startswith(_STDLIB_DIR):
+        return None
+    return Path(candidate).name
+
+RECORD = "record"
+REPLAY = "replay"
+
+
+class Session:
+    """One FlorDB runtime bound to a project directory.
+
+    Parameters
+    ----------
+    config:
+        Project configuration; discovered from the working directory when
+        omitted.
+    mode:
+        ``"record"`` (default) or ``"replay"``.
+    default_filename:
+        Force the filename stamped on records instead of inferring the
+        caller's file.  Replay sessions always set this.
+    replay_tstamp:
+        In replay mode, the historical run timestamp being replayed.
+    replay_plan:
+        Optional :class:`~repro.core.replay.ReplayPlan` restricting which
+        loop iterations execute during replay.
+    cli_args:
+        Explicit argument mapping consulted by ``arg()`` before falling back
+        to ``sys.argv`` and then to defaults.
+    """
+
+    def __init__(
+        self,
+        config: ProjectConfig | None = None,
+        *,
+        db: Database | None = None,
+        repository: Repository | None = None,
+        mode: str = RECORD,
+        default_filename: str | None = None,
+        replay_tstamp: str | None = None,
+        replay_plan: "Any | None" = None,
+        cli_args: Mapping[str, Any] | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+    ):
+        if mode not in (RECORD, REPLAY):
+            raise RecordingError(f"unknown session mode: {mode!r}")
+        self.config = (config or ProjectConfig.discover()).ensure_layout()
+        self.projid = self.config.projid
+        self.mode = mode
+        self.db = db or Database(self.config.db_path)
+        self._owns_db = db is None
+        self.logs = LogRepository(self.db)
+        self.loops = LoopRepository(self.db)
+        self.ts2vid = Ts2VidRepository(self.db)
+        self.objects = ObjectRepository(self.db)
+        self.build_deps = BuildDepRepository(self.db)
+        self.repository = repository or Repository(self.config.objects_dir, self.config.root)
+        self.checkpoints = CheckpointManager(self.objects, policy=checkpoint_policy)
+        self.default_filename = default_filename
+        self._cli_args = dict(cli_args or {})
+        self._contexts: dict[str, ContextState] = {}
+        self._pending_logs: list[LogRecord] = []
+        self._pending_loops: list[LoopRecord] = []
+        self._ckpt_block_depth: dict[str, int] = {}
+        self._replay_plan = replay_plan
+        self.replay_stats = {"iterations_executed": 0, "iterations_skipped": 0, "checkpoints_restored": 0}
+        if mode == REPLAY:
+            if not replay_tstamp:
+                raise ReplayError("replay sessions require replay_tstamp")
+            self.tstamp = replay_tstamp
+            self._existing_log_keys = {
+                (r.tstamp, r.filename, r.ctx_id, r.value_name) for r in self.logs.all(self.projid)
+            }
+        else:
+            self.tstamp = _timestamps.next()
+            self._existing_log_keys = set()
+        self.epoch_start = self.tstamp
+
+    # ------------------------------------------------------------ bookkeeping
+    def close(self) -> None:
+        """Flush pending records and release the database if we own it."""
+        self.flush()
+        if self._owns_db:
+            self.db.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._pending_logs) + len(self._pending_loops)
+
+    def _context_for(self, filename: str) -> ContextState:
+        if filename not in self._contexts:
+            self._contexts[filename] = ContextState(filename=filename)
+        return self._contexts[filename]
+
+    def current_filename(self) -> str:
+        """Basename of the file issuing the current flor call.
+
+        Frames inside this library and the standard library are skipped so
+        that the *user's* script is recorded, mirroring the paper's "metadata
+        captured at time of import".  Path classification is cached because
+        hot training loops call this for every ``flor.log``.
+        """
+        if self.default_filename:
+            return self.default_filename
+        frame = sys._getframe(1)
+        while frame is not None:
+            candidate = frame.f_globals.get("__file__")
+            if candidate:
+                basename = _classify_user_file(candidate)
+                if basename is not None:
+                    return basename
+            frame = frame.f_back
+        main_file = getattr(sys.modules.get("__main__"), "__file__", None)
+        return Path(main_file).name if main_file else "<interactive>"
+
+    # -------------------------------------------------------------- tracking
+    def track(self, *paths: str | Path) -> None:
+        """Track source files so that ``commit()`` snapshots them."""
+        relative = []
+        for path in paths:
+            path = Path(path)
+            if path.is_absolute():
+                try:
+                    path = path.relative_to(self.config.root)
+                except ValueError as exc:
+                    raise RecordingError(
+                        f"tracked file {path} must live under the project root {self.config.root}"
+                    ) from exc
+            relative.append(str(path))
+        self.repository.track(*relative)
+
+    # ------------------------------------------------------------------- log
+    def log(self, name: str, value: Any, filename: str | None = None) -> Any:
+        """Record ``value`` under ``name`` in the current loop context.
+
+        Returns ``value`` unchanged so the call can wrap expressions inline,
+        exactly as in the paper's examples.
+        """
+        filename = filename or self.current_filename()
+        ctx = self._context_for(filename)
+        record = LogRecord.create(
+            projid=self.projid,
+            tstamp=self.tstamp,
+            filename=filename,
+            ctx_id=ctx.current_ctx_id,
+            value_name=name,
+            value=value,
+        )
+        if self.mode == REPLAY:
+            key = (record.tstamp, record.filename, record.ctx_id, record.value_name)
+            if key in self._existing_log_keys:
+                return value
+            self._existing_log_keys.add(key)
+        self._pending_logs.append(record)
+        return value
+
+    # ------------------------------------------------------------------- arg
+    def arg(self, name: str, default: Any = None, filename: str | None = None) -> Any:
+        """Command-line / historical hyperparameter access.
+
+        Record mode resolution order: explicit ``cli_args`` mapping, then
+        ``--name=value`` or ``name=value`` tokens in ``sys.argv``, then the
+        default.  Replay mode returns the value recorded for the replayed
+        run.  The resolved value is logged under ``name`` either way.
+        """
+        filename = filename or self.current_filename()
+        if self.mode == REPLAY:
+            value = self._historical_arg(name, filename)
+            if value is None:
+                value = default
+            else:
+                value = _coerce_like(value, default)
+            return value
+        value: Any = None
+        found = False
+        if name in self._cli_args:
+            value, found = self._cli_args[name], True
+        else:
+            for token in sys.argv[1:]:
+                for prefix in (f"--{name}=", f"{name}="):
+                    if token.startswith(prefix):
+                        value, found = token[len(prefix):], True
+                        break
+                if found:
+                    break
+        if not found:
+            value = default
+        else:
+            value = _coerce_like(value, default)
+        self.log(name, value, filename=filename)
+        return value
+
+    def _historical_arg(self, name: str, filename: str) -> Any:
+        for record in self.logs.by_names(self.projid, [name]):
+            if record.tstamp == self.tstamp and record.filename == filename:
+                return record.decoded()
+        for record in self.logs.by_names(self.projid, [name]):
+            if record.tstamp == self.tstamp:
+                return record.decoded()
+        return None
+
+    # ------------------------------------------------------------------ loop
+    def loop(self, name: str, vals: Iterable[Any], filename: str | None = None) -> Iterator[Any]:
+        """Instrumented loop generator (see the paper's ``flor.loop``).
+
+        Record mode: every iteration opens a fresh loop context, emits a
+        ``loops`` row and (when a checkpointing block is active at this
+        nesting level) consults the checkpoint policy at the iteration
+        boundary.  Replay mode: iterations re-use recorded context ids and
+        the replay plan decides which iterations actually run.
+        """
+        filename = filename or self.current_filename()
+        if self.mode == REPLAY:
+            yield from self._replay_loop(name, vals, filename)
+            return
+        yield from self._record_loop(name, vals, filename)
+
+    def _record_loop(self, name: str, vals: Iterable[Any], filename: str) -> Iterator[Any]:
+        ctx = self._context_for(filename)
+        frame = ctx.push_loop(name)
+        is_checkpoint_loop = (
+            self.checkpoints.has_registrations
+            and self._ckpt_block_depth.get(filename) is not None
+            and ctx.depth == self._ckpt_block_depth[filename] + 1
+        )
+        try:
+            for i, value in enumerate(vals):
+                frame.ctx_id = ctx.allocate_ctx_id()
+                frame.iteration = i
+                frame.iteration_value = value
+                self._pending_loops.append(
+                    LoopRecord(
+                        projid=self.projid,
+                        tstamp=self.tstamp,
+                        filename=filename,
+                        ctx_id=frame.ctx_id,
+                        parent_ctx_id=frame.parent_ctx_id,
+                        loop_name=name,
+                        loop_iteration=i,
+                        iteration_value=stringify_iteration_value(value),
+                    )
+                )
+                started = time.perf_counter()
+                yield value
+                elapsed = time.perf_counter() - started
+                if is_checkpoint_loop:
+                    self.flush()
+                    self.checkpoints.maybe_save(
+                        CheckpointKey(self.projid, self.tstamp, filename, frame.ctx_id, name),
+                        iteration=i,
+                        iter_seconds=elapsed,
+                    )
+        finally:
+            ctx.pop_loop(frame)
+
+    def _replay_loop(self, name: str, vals: Iterable[Any], filename: str) -> Iterator[Any]:
+        ctx = self._context_for(filename)
+        frame = ctx.push_loop(name)
+        parent = frame.parent_ctx_id
+        recorded = [
+            r
+            for r in self.loops.by_context(self.projid, self.tstamp, filename)
+            if r.loop_name == name and (r.parent_ctx_id or TOP_LEVEL_CTX) == parent
+        ]
+        recorded.sort(key=lambda r: r.loop_iteration)
+        recorded_by_iteration = {r.loop_iteration: r for r in recorded}
+        vals_list = list(vals)
+        total = max(len(vals_list), len(recorded))
+        plan = self._replay_plan
+        is_checkpoint_loop = (
+            self.checkpoints.has_registrations
+            and self._ckpt_block_depth.get(filename) is not None
+            and ctx.depth == self._ckpt_block_depth[filename] + 1
+        )
+        selected_iterations = {
+            i for i in range(total) if (plan.selects(name, i) if plan is not None else True)
+        }
+        must_execute = self._iterations_to_execute(
+            selected_iterations, total, filename, name, recorded, is_checkpoint_loop
+        )
+        last_executed = -1
+        try:
+            for i in range(total):
+                record = recorded_by_iteration.get(i)
+                if i < len(vals_list):
+                    value = vals_list[i]
+                elif record is not None:
+                    value = record.iteration_value
+                else:  # pragma: no cover - defensive
+                    break
+                if i not in must_execute:
+                    self.replay_stats["iterations_skipped"] += 1
+                    continue
+                if is_checkpoint_loop and last_executed < i - 1:
+                    self._restore_nearest_checkpoint(filename, name, recorded, upto_iteration=i - 1)
+                if record is not None:
+                    frame.ctx_id = ctx.reserve_ctx_id(record.ctx_id)
+                else:
+                    frame.ctx_id = ctx.allocate_ctx_id()
+                    self._pending_loops.append(
+                        LoopRecord(
+                            projid=self.projid,
+                            tstamp=self.tstamp,
+                            filename=filename,
+                            ctx_id=frame.ctx_id,
+                            parent_ctx_id=parent,
+                            loop_name=name,
+                            loop_iteration=i,
+                            iteration_value=stringify_iteration_value(value),
+                        )
+                    )
+                frame.iteration = i
+                frame.iteration_value = value
+                self.replay_stats["iterations_executed"] += 1
+                yield value
+                last_executed = i
+        finally:
+            ctx.pop_loop(frame)
+
+    def _iterations_to_execute(
+        self,
+        selected: set[int],
+        total: int,
+        filename: str,
+        loop_name: str,
+        recorded: list[LoopRecord],
+        is_checkpoint_loop: bool,
+    ) -> set[int]:
+        """Close the selected set under state dependencies.
+
+        For a loop that carries state across iterations, executing iteration
+        ``i`` correctly requires resuming from the nearest checkpoint at
+        ``j <= i - 1`` and re-executing every iteration in ``(j, i)``.  For a
+        stateless loop (no checkpointing block) the selected set is used
+        as-is — the paper's differential execution at its most aggressive.
+        """
+        if selected >= set(range(total)):
+            return set(range(total))
+        if not is_checkpoint_loop:
+            return set(selected)
+        # Iterations that have a stored checkpoint, by iteration index.
+        with_ckpt = set()
+        ckpt_ctx = {
+            ctx_id
+            for ctx_id, name_ in self.checkpoints.available_checkpoints(
+                self.projid, self.tstamp, filename
+            )
+            if name_ == loop_name
+        }
+        for record in recorded:
+            if record.ctx_id in ckpt_ctx:
+                with_ckpt.add(record.loop_iteration)
+        must = set()
+        for i in sorted(selected):
+            j = max((k for k in with_ckpt if k <= i - 1), default=-1)
+            must.update(range(j + 1, i + 1))
+        return must
+
+    def _restore_nearest_checkpoint(
+        self,
+        filename: str,
+        loop_name: str,
+        recorded: list[LoopRecord],
+        upto_iteration: int,
+    ) -> None:
+        """Restore the latest checkpoint at or before ``upto_iteration``."""
+        candidates = [r for r in recorded if r.loop_iteration <= upto_iteration]
+        for record in sorted(candidates, key=lambda r: r.loop_iteration, reverse=True):
+            key = CheckpointKey(self.projid, self.tstamp, filename, record.ctx_id, loop_name)
+            if self.checkpoints.restore(key):
+                self.replay_stats["checkpoints_restored"] += 1
+                return
+
+    # -------------------------------------------------------------- iteration
+    @contextmanager
+    def iteration(self, name: str, index: int | None, value: Any, filename: str | None = None) -> Iterator[Any]:
+        """Manually scoped single loop iteration (``flor.iteration`` in Fig. 6).
+
+        Used by long-running processes (web handlers) that need to attribute
+        logs to a named entity — e.g. one document — outside a ``for`` loop.
+        ``index`` of None auto-increments past the highest recorded iteration
+        of this loop within the current run.
+        """
+        filename = filename or self.current_filename()
+        ctx = self._context_for(filename)
+        frame = ctx.push_loop(name)
+        if index is None:
+            existing = [
+                r.loop_iteration
+                for r in self.loops.by_context(self.projid, self.tstamp, filename)
+                if r.loop_name == name
+            ] + [
+                r.loop_iteration
+                for r in self._pending_loops
+                if r.loop_name == name and r.filename == filename and r.tstamp == self.tstamp
+            ]
+            index = (max(existing) + 1) if existing else 0
+        frame.ctx_id = ctx.allocate_ctx_id()
+        frame.iteration = index
+        frame.iteration_value = value
+        self._pending_loops.append(
+            LoopRecord(
+                projid=self.projid,
+                tstamp=self.tstamp,
+                filename=filename,
+                ctx_id=frame.ctx_id,
+                parent_ctx_id=frame.parent_ctx_id,
+                loop_name=name,
+                loop_iteration=index,
+                iteration_value=stringify_iteration_value(value),
+            )
+        )
+        try:
+            yield value
+        finally:
+            ctx.pop_loop(frame)
+
+    # ---------------------------------------------------------- checkpointing
+    @contextmanager
+    def checkpointing(
+        self,
+        mapping: Mapping[str, Any] | None = None,
+        /,
+        filename: str | None = None,
+        **objects: Any,
+    ) -> Iterator[None]:
+        """Register objects for adaptive checkpointing within the block."""
+        registered = dict(mapping or {})
+        registered.update(objects)
+        filename = filename or self.current_filename()
+        ctx = self._context_for(filename)
+        self.checkpoints.register(registered)
+        previous_depth = self._ckpt_block_depth.get(filename)
+        self._ckpt_block_depth[filename] = ctx.depth
+        try:
+            yield
+        finally:
+            if previous_depth is None:
+                self._ckpt_block_depth.pop(filename, None)
+            else:
+                self._ckpt_block_depth[filename] = previous_depth
+            self.checkpoints.clear()
+
+    # ---------------------------------------------------------------- commit
+    def flush(self) -> None:
+        """Write buffered log and loop records to the database."""
+        if self._pending_loops:
+            self.loops.add_many(self._pending_loops)
+            self._pending_loops = []
+        if self._pending_logs:
+            self.logs.add_many(self._pending_logs)
+            self._pending_logs = []
+
+    def commit(self, message: str = "", root_target: str | None = None) -> str | None:
+        """Application-level transaction commit (``flor.commit`` in the paper).
+
+        Flushes buffered records, snapshots tracked files into the version
+        store, records the ``ts2vid`` epoch and starts a new timestamp.
+        Returns the new version id (or None in replay mode, where commits are
+        no-ops beyond flushing).
+        """
+        self.flush()
+        if self.mode == REPLAY:
+            return None
+        ts_end = _timestamps.next()
+        commit: Commit = self.repository.commit(message=message, tstamp=self.tstamp)
+        self.ts2vid.add(
+            Ts2VidRecord(
+                projid=self.projid,
+                ts_start=self.epoch_start,
+                ts_end=ts_end,
+                vid=commit.vid,
+                root_target=root_target,
+            )
+        )
+        self.tstamp = _timestamps.next()
+        self.epoch_start = self.tstamp
+        return commit.vid
+
+    # ------------------------------------------------------------- dataframe
+    def dataframe(self, *names: str):
+        """Pivoted view of the requested log names (``flor.dataframe``)."""
+        from .dataframe_view import build_dataframe
+
+        self.flush()
+        return build_dataframe(self.db, self.projid, list(names))
+
+    def sql(self, query: str, names: Sequence[str] = (), params: Sequence[Any] = ()):
+        """Read-only SQL over the context store (the paper's "or SQL" path).
+
+        Without ``names`` the query runs directly against the physical tables
+        of Figure 1.  With ``names`` the pivoted view of those log names is
+        materialized as a temporary ``pivot`` table first, so run-level
+        questions become plain SQL::
+
+            session.sql("SELECT tstamp, MAX(recall) AS best FROM pivot GROUP BY tstamp",
+                        names=["recall"])
+        """
+        from ..relational.sql import run_sql, sql_over_names
+
+        self.flush()
+        if names:
+            return sql_over_names(self.db, self.projid, list(names), query, params)
+        return run_sql(self.db, query, params)
+
+
+def _coerce_like(value: Any, default: Any) -> Any:
+    """Cast ``value`` to the type of ``default`` when sensible."""
+    if default is None or value is None:
+        return value
+    target = type(default)
+    if isinstance(value, target):
+        return value
+    try:
+        if target is bool and isinstance(value, str):
+            return value.strip().lower() in {"1", "true", "yes", "on"}
+        return target(value)
+    except (TypeError, ValueError):
+        return value
+
+
+# --------------------------------------------------------------------------
+# Active-session management
+# --------------------------------------------------------------------------
+#
+# The stack lives in a ContextVar so that concurrently replaying threads (the
+# hindsight engine's thread pool) each see their own activation, while
+# ordinary single-threaded scripts behave like a plain global.
+
+_session_stack: ContextVar[tuple["Session", ...]] = ContextVar("flor_session_stack", default=())
+_default_session: Session | None = None
+_default_session_factory: Callable[[], Session] | None = None
+_atexit_registered = False
+
+
+def set_default_session_factory(factory: Callable[[], Session] | None) -> None:
+    """Override how the implicit default session is created (mainly for tests)."""
+    global _default_session_factory, _default_session
+    _default_session_factory = factory
+    _default_session = None
+
+
+def get_active_session(create_default: bool = True) -> Session:
+    """The session that module-level flor calls should use.
+
+    When no session has been activated and ``create_default`` is True, a
+    default record-mode session rooted at the current working directory (or
+    ``FLOR_PROJECT_DIR``) is created lazily and kept for the process
+    lifetime; its pending records are committed at interpreter exit, which is
+    the paper's ``atexit`` behaviour.
+    """
+    global _atexit_registered, _default_session
+    stack = _session_stack.get()
+    if stack:
+        return stack[-1]
+    if not create_default:
+        raise RecordingError("no active FlorDB session")
+    if _default_session is None:
+        factory = _default_session_factory or (lambda: Session(ProjectConfig.discover(os.getcwd())))
+        _default_session = factory()
+        if not _atexit_registered:
+            atexit.register(_commit_default_session)
+            _atexit_registered = True
+    return _default_session
+
+
+def _commit_default_session() -> None:  # pragma: no cover - interpreter teardown
+    if _default_session is None:
+        return
+    try:
+        if _default_session.pending_records:
+            _default_session.commit(message="flor atexit commit")
+    except Exception:
+        pass
+
+
+@contextmanager
+def active_session(session: Session) -> Iterator[Session]:
+    """Make ``session`` the target of module-level flor calls within the block."""
+    token = _session_stack.set(_session_stack.get() + (session,))
+    try:
+        yield session
+    finally:
+        _session_stack.reset(token)

@@ -1,0 +1,272 @@
+"""A one-dimensional, named column of values.
+
+:class:`Column` is the element-wise half of the mini dataframe engine.  It is
+deliberately list-backed (not NumPy) so that heterogeneous log values —
+strings, numbers, ``None`` — coexist without dtype coercion surprises, which
+matches how FlorDB stores log values as text and casts on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import DataFrameError, LengthMismatchError
+
+_MISSING = (None,)
+
+
+def _is_missing(value: Any) -> bool:
+    """Return True for values treated as nulls (None or float NaN)."""
+    if value is None:
+        return True
+    return isinstance(value, float) and math.isnan(value)
+
+
+class Column:
+    """An immutable, ordered sequence of values with a name.
+
+    Element-wise operators return new columns; comparison operators return
+    boolean columns suitable for DataFrame masking.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str, values: Iterable[Any]):
+        self.name = str(name)
+        self._values: list[Any] = list(values)
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int | slice) -> Any:
+        if isinstance(index, slice):
+            return Column(self.name, self._values[index])
+        return self._values[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(v) for v in self._values[:6])
+        if len(self._values) > 6:
+            preview += ", ..."
+        return f"Column({self.name!r}, [{preview}], n={len(self)})"
+
+    def __eq__(self, other: Any) -> "Column":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "Column":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> "Column":
+        return self._compare(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "Column":
+        return self._compare(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "Column":
+        return self._compare(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "Column":
+        return self._compare(other, lambda a, b: a >= b)
+
+    def __hash__(self) -> int:  # columns are not hashable (like pandas Series)
+        raise TypeError("Column objects are unhashable; use .to_list() instead")
+
+    # -------------------------------------------------------------- arithmetic
+    def __add__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: a + b)
+
+    def __radd__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: b + a)
+
+    def __sub__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: b - a)
+
+    def __mul__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: a * b)
+
+    def __rmul__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: b * a)
+
+    def __truediv__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: a / b)
+
+    def __and__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: bool(a) and bool(b))
+
+    def __or__(self, other: Any) -> "Column":
+        return self._binary(other, lambda a, b: bool(a) or bool(b))
+
+    def __invert__(self) -> "Column":
+        return Column(self.name, [not bool(v) for v in self._values])
+
+    def _other_values(self, other: Any) -> Sequence[Any]:
+        if isinstance(other, Column):
+            if len(other) != len(self):
+                raise LengthMismatchError(
+                    f"cannot combine columns of length {len(self)} and {len(other)}"
+                )
+            return other._values
+        return [other] * len(self)
+
+    def _binary(self, other: Any, op: Callable[[Any, Any], Any]) -> "Column":
+        rhs = self._other_values(other)
+        out = []
+        for a, b in zip(self._values, rhs):
+            if _is_missing(a) or _is_missing(b):
+                out.append(None)
+            else:
+                out.append(op(a, b))
+        return Column(self.name, out)
+
+    def _compare(self, other: Any, op: Callable[[Any, Any], bool]) -> "Column":
+        rhs = self._other_values(other)
+        out = []
+        for a, b in zip(self._values, rhs):
+            if _is_missing(a) or _is_missing(b):
+                out.append(False)
+            else:
+                try:
+                    out.append(bool(op(a, b)))
+                except TypeError:
+                    out.append(False)
+        return Column(self.name, out)
+
+    # ------------------------------------------------------------- conversions
+    def to_list(self) -> list[Any]:
+        """Return the column values as a plain Python list."""
+        return list(self._values)
+
+    tolist = to_list
+
+    def astype(self, caster: Callable[[Any], Any]) -> "Column":
+        """Cast every non-null value with ``caster`` (e.g. ``int``, ``float``)."""
+        out = []
+        for value in self._values:
+            if _is_missing(value):
+                out.append(None)
+                continue
+            try:
+                out.append(caster(value))
+            except (TypeError, ValueError) as exc:
+                raise DataFrameError(
+                    f"cannot cast value {value!r} in column {self.name!r} with {caster!r}"
+                ) from exc
+        return Column(self.name, out)
+
+    def map(self, func: Callable[[Any], Any]) -> "Column":
+        """Apply ``func`` element-wise, passing nulls through unchanged."""
+        return Column(
+            self.name,
+            [None if _is_missing(v) else func(v) for v in self._values],
+        )
+
+    apply = map
+
+    # --------------------------------------------------------------- missing
+    def isna(self) -> "Column":
+        """Boolean column marking null (None / NaN) entries."""
+        return Column(self.name, [_is_missing(v) for v in self._values])
+
+    def notna(self) -> "Column":
+        return Column(self.name, [not _is_missing(v) for v in self._values])
+
+    def fillna(self, value: Any) -> "Column":
+        return Column(
+            self.name,
+            [value if _is_missing(v) else v for v in self._values],
+        )
+
+    def dropna(self) -> "Column":
+        return Column(self.name, [v for v in self._values if not _is_missing(v)])
+
+    # ------------------------------------------------------------- reductions
+    def any(self) -> bool:
+        return any(bool(v) for v in self._values if not _is_missing(v))
+
+    def all(self) -> bool:
+        return all(bool(v) for v in self._values if not _is_missing(v))
+
+    def sum(self) -> Any:
+        values = [v for v in self._values if not _is_missing(v)]
+        return sum(values) if values else 0
+
+    def count(self) -> int:
+        """Number of non-null values."""
+        return sum(1 for v in self._values if not _is_missing(v))
+
+    def mean(self) -> float | None:
+        values = [v for v in self._values if not _is_missing(v)]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def min(self) -> Any:
+        values = [v for v in self._values if not _is_missing(v)]
+        return min(values) if values else None
+
+    def max(self) -> Any:
+        values = [v for v in self._values if not _is_missing(v)]
+        return max(values) if values else None
+
+    def nunique(self) -> int:
+        return len({repr(v) for v in self._values if not _is_missing(v)})
+
+    def unique(self) -> list[Any]:
+        """Distinct non-null values in first-seen order."""
+        seen: dict[str, Any] = {}
+        for value in self._values:
+            if _is_missing(value):
+                continue
+            seen.setdefault(repr(value), value)
+        return list(seen.values())
+
+    # ------------------------------------------------------------ cumulative
+    def cumsum(self) -> "Column":
+        """Cumulative sum; null entries propagate the running total unchanged."""
+        out: list[Any] = []
+        total: Any = 0
+        for value in self._values:
+            if not _is_missing(value):
+                total = total + value
+            out.append(total)
+        return Column(self.name, out)
+
+    # ---------------------------------------------------------------- helpers
+    def rename(self, name: str) -> "Column":
+        return Column(name, self._values)
+
+    def argsort(self, reverse: bool = False) -> list[int]:
+        """Stable ordering of row indices; nulls sort last."""
+        def key(idx: int) -> tuple[int, Any]:
+            value = self._values[idx]
+            if _is_missing(value):
+                return (1, 0)
+            return (0, value)
+
+        order = sorted(range(len(self._values)), key=key)
+        if reverse:
+            non_null = [i for i in order if not _is_missing(self._values[i])]
+            nulls = [i for i in order if _is_missing(self._values[i])]
+            order = list(reversed(non_null)) + nulls
+        return order
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        return Column(self.name, [self._values[i] for i in indices])
+
+    def equals(self, other: "Column") -> bool:
+        """Exact value equality (including null positions)."""
+        if not isinstance(other, Column) or len(other) != len(self):
+            return False
+        for a, b in zip(self._values, other._values):
+            if _is_missing(a) and _is_missing(b):
+                continue
+            if a != b:
+                return False
+        return True

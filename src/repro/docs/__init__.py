@@ -1,0 +1,30 @@
+"""Synthetic document corpus and featurization (the PDF-parser data path).
+
+The paper's demo ingests real PDFs, splits them into pages, runs OCR or text
+extraction and featurizes each page (Figure 3).  Real PDFs and OCR engines
+are unavailable offline, so this package generates an equivalent synthetic
+corpus — multi-page documents with headings, page numbers, body text and a
+configurable "scanned" fraction whose text passes through a noisy OCR
+simulator — and implements the page featurization from Figure 3 on top.
+The substitution keeps the code path identical: the featurization loop, the
+flor logging, and the downstream classifier all consume the same shapes the
+real pipeline would produce.
+"""
+
+from .corpus import Document, DocumentCorpus, Page, generate_corpus
+from .featurize import PageFeatures, extract_features, featurize_corpus, feature_vector
+from .ocr import TextExtraction, read_page, simulate_ocr
+
+__all__ = [
+    "Document",
+    "Page",
+    "DocumentCorpus",
+    "generate_corpus",
+    "TextExtraction",
+    "read_page",
+    "simulate_ocr",
+    "PageFeatures",
+    "extract_features",
+    "feature_vector",
+    "featurize_corpus",
+]

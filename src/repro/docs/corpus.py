@@ -1,0 +1,182 @@
+"""Synthetic multi-page document corpus.
+
+Each generated document mimics the structure the PDF-parser demo cares
+about: a first page (title, authors, abstract-like text), body pages with
+section headings and printed page numbers, and an optional "scanned" flag
+that routes the page through the OCR simulator instead of clean text
+extraction.  Documents can be written to disk (one ``.txt`` per page plus a
+``manifest.json``) so the Make-driven pipeline has real files to depend on.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+_TOPICS = (
+    "criminal defense discovery",
+    "public health surveillance",
+    "municipal budget oversight",
+    "housing court filings",
+    "environmental impact review",
+    "police misconduct records",
+    "immigration case backlog",
+    "school district performance",
+)
+
+_WORDS = (
+    "record evidence motion exhibit finding statute analysis review data table "
+    "summary appendix witness report metric figure policy outcome hearing docket "
+    "count petition order filing response disclosure audit sample population"
+).split()
+
+
+@dataclass
+class Page:
+    """One page of a synthetic document."""
+
+    number: int               # 1-based printed page number
+    heading: str | None       # section heading, if the page starts a section
+    text: str                 # body text (pre-OCR ground truth)
+    is_first_page: bool = False
+    is_scanned: bool = False  # scanned pages go through the OCR simulator
+
+    @property
+    def word_count(self) -> int:
+        return len(self.text.split())
+
+
+@dataclass
+class Document:
+    """A synthetic multi-page document."""
+
+    name: str
+    title: str
+    topic: str
+    pages: list[Page] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self) -> Iterator[Page]:
+        return iter(self.pages)
+
+
+@dataclass
+class DocumentCorpus:
+    """A collection of documents plus the seed that generated them."""
+
+    documents: list[Document] = field(default_factory=list)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def document_names(self) -> list[str]:
+        return [d.name for d in self.documents]
+
+    def get(self, name: str) -> Document:
+        for document in self.documents:
+            if document.name == name:
+                return document
+        raise KeyError(name)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(len(d) for d in self.documents)
+
+    # ------------------------------------------------------------------- I/O
+    def write_to(self, directory: Path | str) -> Path:
+        """Write one text file per page plus a corpus manifest.
+
+        Layout: ``<dir>/<doc_name>/page_<k>.txt`` and ``<dir>/manifest.json``.
+        Returns the directory path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest: dict[str, list[dict]] = {}
+        for document in self.documents:
+            doc_dir = directory / document.name
+            doc_dir.mkdir(parents=True, exist_ok=True)
+            manifest[document.name] = []
+            for page in document.pages:
+                page_path = doc_dir / f"page_{page.number:03d}.txt"
+                page_path.write_text(page.text)
+                manifest[document.name].append(
+                    {
+                        "number": page.number,
+                        "heading": page.heading,
+                        "is_first_page": page.is_first_page,
+                        "is_scanned": page.is_scanned,
+                    }
+                )
+        (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return directory
+
+
+def _sentence(rng: random.Random, words: int) -> str:
+    chosen = [rng.choice(_WORDS) for _ in range(words)]
+    chosen[0] = chosen[0].capitalize()
+    return " ".join(chosen) + "."
+
+
+def _page_text(rng: random.Random, heading: str | None, page_number: int, paragraphs: int) -> str:
+    parts: list[str] = []
+    if heading:
+        parts.append(heading)
+    for _ in range(paragraphs):
+        sentences = [_sentence(rng, rng.randint(6, 14)) for _ in range(rng.randint(2, 5))]
+        parts.append(" ".join(sentences))
+    parts.append(f"Page {page_number}")
+    return "\n\n".join(parts)
+
+
+def generate_corpus(
+    num_documents: int = 6,
+    min_pages: int = 3,
+    max_pages: int = 10,
+    scanned_fraction: float = 0.3,
+    seed: int = 0,
+) -> DocumentCorpus:
+    """Generate a deterministic synthetic corpus.
+
+    ``scanned_fraction`` of pages are marked as scanned so that the OCR code
+    path (and its "text_src" logging in Figure 3) is exercised.
+    """
+    rng = random.Random(seed)
+    documents: list[Document] = []
+    for d in range(num_documents):
+        topic = rng.choice(_TOPICS)
+        title = f"{topic.title()} Report {d + 1}"
+        name = f"doc_{d:03d}.pdf"
+        pages: list[Page] = []
+        num_pages = rng.randint(min_pages, max_pages)
+        section = 0
+        for p in range(num_pages):
+            first = p == 0
+            heading = None
+            if first:
+                heading = title
+            elif rng.random() < 0.4:
+                section += 1
+                heading = f"Section {section}: {rng.choice(_TOPICS).title()}"
+            text = _page_text(rng, heading, p + 1, paragraphs=rng.randint(1, 3))
+            if first:
+                text = f"{title}\nPrepared by the {topic.title()} Team\n\n" + text
+            pages.append(
+                Page(
+                    number=p + 1,
+                    heading=heading,
+                    text=text,
+                    is_first_page=first,
+                    is_scanned=rng.random() < scanned_fraction,
+                )
+            )
+        documents.append(Document(name=name, title=title, topic=topic, pages=pages))
+    return DocumentCorpus(documents=documents, seed=seed)

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the FlorDB reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing unrelated
+bugs (``except ReproError`` instead of a bare ``except Exception``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Raised when project configuration is missing or inconsistent."""
+
+
+class DataFrameError(ReproError):
+    """Raised by the mini dataframe engine."""
+
+
+class ColumnNotFoundError(DataFrameError):
+    """Raised when a requested column does not exist in a DataFrame."""
+
+    def __init__(self, column: str, available: tuple[str, ...] = ()):
+        self.column = column
+        self.available = tuple(available)
+        message = f"column {column!r} not found"
+        if available:
+            message += f"; available columns: {', '.join(available)}"
+        super().__init__(message)
+
+
+class LengthMismatchError(DataFrameError):
+    """Raised when columns of differing lengths are combined."""
+
+
+class DatabaseError(ReproError):
+    """Raised by the relational storage layer."""
+
+
+class SchemaError(DatabaseError):
+    """Raised when the on-disk schema is incompatible with this version."""
+
+
+class VersioningError(ReproError):
+    """Raised by the content-addressed version store."""
+
+
+class ObjectNotFoundError(VersioningError):
+    """Raised when an object id is not present in the store."""
+
+
+class CommitNotFoundError(VersioningError):
+    """Raised when a version id does not name a commit."""
+
+
+class RecordingError(ReproError):
+    """Raised by the recording runtime (flor.log / flor.loop misuse)."""
+
+
+class ReplayError(ReproError):
+    """Raised by the replay engine."""
+
+
+class CheckpointError(ReproError):
+    """Raised when checkpoint state cannot be saved or restored."""
+
+
+class PropagationError(ReproError):
+    """Raised when log statements cannot be propagated across versions."""
+
+
+class BuildError(ReproError):
+    """Raised by the Make-like build substrate."""
+
+
+class CycleError(BuildError):
+    """Raised when the dependency graph contains a cycle."""
+
+
+class TargetNotFoundError(BuildError):
+    """Raised when a requested build target is not defined."""
+
+
+class PipelineError(ReproError):
+    """Raised by high-level pipeline orchestration helpers."""
+
+
+class ModelError(ReproError):
+    """Raised by the NumPy ML substrate."""
+
+
+class WebAppError(ReproError):
+    """Raised by the minimal web framework."""
+
+
+class RouteNotFoundError(WebAppError):
+    """Raised when a request path has no registered handler."""
+
+    def __init__(self, path: str, method: str = "GET"):
+        self.path = path
+        self.method = method
+        super().__init__(f"no route for {method} {path}")
+
+
+class GovernanceError(ReproError):
+    """Raised when a governance policy check fails hard."""

@@ -1,0 +1,41 @@
+"""NumPy training substrate (stands in for PyTorch in the paper's Figure 5).
+
+The training pipeline of the PDF-parser demo fine-tunes a small classifier
+over page features.  This package implements everything that loop needs from
+scratch on NumPy: layers, an MLP with ``state_dict``/``load_state_dict``
+(the convention the checkpoint manager understands), SGD/Adam optimizers,
+losses, metrics (accuracy / recall), mini-batch loading and a convenience
+trainer that wires it all through the flor facade.
+"""
+
+from .dataset import Dataset, DataLoader, train_test_split
+from .metrics import accuracy, confusion_matrix, f1_score, precision, recall
+from .mlp import MLPClassifier, Linear, relu, softmax
+from .optim import SGD, Adam
+from .train import (
+    TrainingConfig,
+    TrainingResult,
+    make_synthetic_classification,
+    train_classifier,
+)
+
+__all__ = [
+    "Dataset",
+    "DataLoader",
+    "train_test_split",
+    "MLPClassifier",
+    "Linear",
+    "relu",
+    "softmax",
+    "SGD",
+    "Adam",
+    "accuracy",
+    "recall",
+    "precision",
+    "f1_score",
+    "confusion_matrix",
+    "TrainingConfig",
+    "TrainingResult",
+    "train_classifier",
+    "make_synthetic_classification",
+]

@@ -1,0 +1,82 @@
+"""Datasets and mini-batch loading for the NumPy training substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset: feature matrix ``X`` and integer labels ``y``."""
+
+    X: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {self.X.shape}")
+        if self.y.ndim != 1:
+            raise ModelError(f"y must be 1-D, got shape {self.y.shape}")
+        if len(self.X) != len(self.y):
+            raise ModelError(f"X has {len(self.X)} rows but y has {len(self.y)} labels")
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    @property
+    def num_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self.y) else 0
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        return Dataset(self.X[indices], self.y[indices])
+
+    def shuffled(self, seed: int | None = None) -> "Dataset":
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2, seed: int | None = 0) -> tuple[Dataset, Dataset]:
+    """Split into train/test subsets after a deterministic shuffle."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    shuffled = dataset.shuffled(seed)
+    cut = max(1, int(round(len(dataset) * (1.0 - test_fraction))))
+    cut = min(cut, len(dataset) - 1) if len(dataset) > 1 else cut
+    train_idx = np.arange(0, cut)
+    test_idx = np.arange(cut, len(dataset))
+    return shuffled.subset(train_idx), shuffled.subset(test_idx)
+
+
+class DataLoader:
+    """Iterates a dataset in mini-batches, optionally reshuffled each epoch."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = False, seed: int | None = 0):
+        if batch_size <= 0:
+            raise ModelError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start:start + self.batch_size]
+            yield self.dataset.X[batch], self.dataset.y[batch]

@@ -1,0 +1,79 @@
+"""Classification metrics used throughout the paper's demo (accuracy, recall)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ModelError(f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}")
+    if y_true.size == 0:
+        raise ModelError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions that match the true label."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """``matrix[i, j]`` counts samples of true class ``i`` predicted as ``j``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def _matrix_covering(y_true: np.ndarray, y_pred: np.ndarray, positive_class: int | None) -> np.ndarray:
+    """Confusion matrix sized to include ``positive_class`` even if unseen."""
+    num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if positive_class is not None:
+        num_classes = max(num_classes, positive_class + 1)
+    return confusion_matrix(y_true, y_pred, num_classes=num_classes)
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray, positive_class: int | None = None) -> float:
+    """Recall for ``positive_class``, or macro-averaged recall when omitted."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = _matrix_covering(y_true, y_pred, positive_class)
+    if positive_class is not None:
+        denom = matrix[positive_class].sum()
+        return float(matrix[positive_class, positive_class] / denom) if denom else 0.0
+    recalls = []
+    for cls in range(matrix.shape[0]):
+        denom = matrix[cls].sum()
+        if denom:
+            recalls.append(matrix[cls, cls] / denom)
+    return float(np.mean(recalls)) if recalls else 0.0
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray, positive_class: int | None = None) -> float:
+    """Precision for ``positive_class``, or macro-averaged precision when omitted."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = _matrix_covering(y_true, y_pred, positive_class)
+    if positive_class is not None:
+        denom = matrix[:, positive_class].sum()
+        return float(matrix[positive_class, positive_class] / denom) if denom else 0.0
+    precisions = []
+    for cls in range(matrix.shape[0]):
+        denom = matrix[:, cls].sum()
+        if denom:
+            precisions.append(matrix[cls, cls] / denom)
+    return float(np.mean(precisions)) if precisions else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive_class: int | None = None) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred, positive_class)
+    r = recall(y_true, y_pred, positive_class)
+    return 2 * p * r / (p + r) if (p + r) else 0.0

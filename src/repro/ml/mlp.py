@@ -1,0 +1,159 @@
+"""A small multi-layer perceptron classifier with manual backpropagation.
+
+The model mirrors the torch usage in the paper's Figure 5 closely enough for
+the checkpoint manager: ``state_dict()`` / ``load_state_dict()`` round-trip
+all parameters, ``forward`` produces logits, and ``backward`` accumulates
+gradients consumed by the optimizers in :mod:`repro.ml.optim`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of the true labels."""
+    eps = 1e-12
+    picked = probabilities[np.arange(len(labels)), labels]
+    return float(-np.mean(np.log(picked + eps)))
+
+
+class Linear:
+    """A fully connected layer ``y = xW + b`` with gradient accumulation."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / in_features)
+        self.W = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._last_input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._last_input = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise ModelError("backward called before forward")
+        self.dW += self._last_input.T @ grad_output
+        self.db += grad_output.sum(axis=0)
+        return grad_output @ self.W.T
+
+    def zero_grad(self) -> None:
+        self.dW[...] = 0.0
+        self.db[...] = 0.0
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        return [("W", self.W, self.dW), ("b", self.b, self.db)]
+
+
+class MLPClassifier:
+    """Two-layer (configurable-depth) MLP with ReLU activations.
+
+    Parameters
+    ----------
+    in_features / num_classes:
+        Input dimensionality and number of output classes.
+    hidden_sizes:
+        Width of each hidden layer; an empty tuple yields a linear model.
+    seed:
+        Seed for weight initialization (reproducible training runs).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden_sizes: tuple[int, ...] = (64,),
+        seed: int = 0,
+    ):
+        if in_features <= 0 or num_classes <= 0:
+            raise ModelError("in_features and num_classes must be positive")
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        rng = np.random.default_rng(seed)
+        sizes = [in_features, *self.hidden_sizes, num_classes]
+        self.layers = [Linear(sizes[i], sizes[i + 1], rng) for i in range(len(sizes) - 1)]
+        self._activations: list[np.ndarray] = []
+
+    # ---------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a batch of inputs (no softmax applied)."""
+        x = np.asarray(x, dtype=np.float64)
+        self._activations = []
+        out = x
+        for i, layer in enumerate(self.layers):
+            out = layer.forward(out)
+            if i < len(self.layers) - 1:
+                self._activations.append(out)
+                out = relu(out)
+        return out
+
+    __call__ = forward
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return softmax(self.forward(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=1)
+
+    # --------------------------------------------------------------- backward
+    def loss_and_backward(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Cross-entropy loss plus gradient accumulation through all layers."""
+        labels = np.asarray(labels, dtype=np.int64)
+        logits = self.forward(x)
+        probabilities = softmax(logits)
+        loss = cross_entropy(probabilities, labels)
+        grad = probabilities.copy()
+        grad[np.arange(len(labels)), labels] -= 1.0
+        grad /= len(labels)
+        for i in range(len(self.layers) - 1, -1, -1):
+            if i < len(self.layers) - 1:
+                grad = grad * (self._activations[i] > 0)
+            grad = self.layers[i].backward(grad)
+        return loss
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # --------------------------------------------------------------- state IO
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            state[f"layers.{i}.W"] = layer.W.copy()
+            state[f"layers.{i}.b"] = layer.b.copy()
+        return state
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            w_key, b_key = f"layers.{i}.W", f"layers.{i}.b"
+            if w_key not in state or b_key not in state:
+                raise ModelError(f"state dict is missing parameters for layer {i}")
+            if state[w_key].shape != layer.W.shape or state[b_key].shape != layer.b.shape:
+                raise ModelError(
+                    f"state dict shapes {state[w_key].shape}/{state[b_key].shape} do not match layer {i}"
+                )
+            layer.W[...] = state[w_key]
+            layer.b[...] = state[b_key]
+
+    def parameter_count(self) -> int:
+        return sum(layer.W.size + layer.b.size for layer in self.layers)

@@ -1,0 +1,104 @@
+"""Optimizers for the NumPy training substrate (SGD and Adam).
+
+Both optimizers expose the torch-style trio the checkpoint manager relies
+on: ``step()``, ``zero_grad()`` and ``state_dict()``/``load_state_dict()``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ModelError
+from .mlp import MLPClassifier
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, model: MLPClassifier, lr: float = 1e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ModelError(f"learning rate must be positive, got {lr}")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: list[dict[str, np.ndarray]] = [
+            {"W": np.zeros_like(layer.W), "b": np.zeros_like(layer.b)} for layer in model.layers
+        ]
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    def step(self) -> None:
+        for layer, velocity in zip(self.model.layers, self._velocity):
+            velocity["W"] = self.momentum * velocity["W"] - self.lr * layer.dW
+            velocity["b"] = self.momentum * velocity["b"] - self.lr * layer.db
+            layer.W += velocity["W"]
+            layer.b += velocity["b"]
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": [{k: v.copy() for k, v in entry.items()} for entry in self._velocity],
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        self.lr = state.get("lr", self.lr)
+        self.momentum = state.get("momentum", self.momentum)
+        velocity = state.get("velocity")
+        if velocity is not None and len(velocity) == len(self._velocity):
+            self._velocity = [{k: np.array(v) for k, v in entry.items()} for entry in velocity]
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) over the MLP's layer parameters."""
+
+    def __init__(
+        self,
+        model: MLPClassifier,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ModelError(f"learning rate must be positive, got {lr}")
+        self.model = model
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [{"W": np.zeros_like(l.W), "b": np.zeros_like(l.b)} for l in model.layers]
+        self._v = [{"W": np.zeros_like(l.W), "b": np.zeros_like(l.b)} for l in model.layers]
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    def step(self) -> None:
+        self.t += 1
+        bias1 = 1 - self.beta1 ** self.t
+        bias2 = 1 - self.beta2 ** self.t
+        for layer, m, v in zip(self.model.layers, self._m, self._v):
+            for name, param, grad in layer.parameters():
+                m[name] = self.beta1 * m[name] + (1 - self.beta1) * grad
+                v[name] = self.beta2 * v[name] + (1 - self.beta2) * (grad * grad)
+                m_hat = m[name] / bias1
+                v_hat = v[name] / bias2
+                param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "t": self.t,
+            "m": [{k: v.copy() for k, v in entry.items()} for entry in self._m],
+            "v": [{k: v.copy() for k, v in entry.items()} for entry in self._v],
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        self.lr = state.get("lr", self.lr)
+        self.t = state.get("t", self.t)
+        if "m" in state and len(state["m"]) == len(self._m):
+            self._m = [{k: np.array(v) for k, v in entry.items()} for entry in state["m"]]
+        if "v" in state and len(state["v"]) == len(self._v):
+            self._v = [{k: np.array(v) for k, v in entry.items()} for entry in state["v"]]

@@ -1,0 +1,134 @@
+"""The paper's Figure 5 training loop as a reusable function.
+
+``train_classifier`` reproduces the structure of the figure exactly: read
+hyperparameters with ``flor.arg``, open a ``flor.checkpointing`` block over
+the model and optimizer, loop over epochs and steps with ``flor.loop``, log
+the per-step loss and per-epoch accuracy/recall, and leave model selection
+to later ``flor.dataframe("acc", "recall")`` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.api import flor
+from .dataset import DataLoader, Dataset
+from .metrics import accuracy, recall
+from .mlp import MLPClassifier
+from .optim import SGD, Adam
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters of one training run (defaults match Figure 5)."""
+
+    hidden: int = 64
+    epochs: int = 5
+    batch_size: int = 32
+    lr: float = 1e-3
+    seed: int = 0
+    optimizer: str = "adam"
+
+
+@dataclass
+class TrainingResult:
+    """Final model plus the metric trajectory of the run."""
+
+    model: MLPClassifier
+    losses: list[float]
+    accuracies: list[float]
+    recalls: list[float]
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+    @property
+    def final_recall(self) -> float:
+        return self.recalls[-1] if self.recalls else 0.0
+
+
+def train_classifier(
+    train_data: Dataset,
+    test_data: Dataset,
+    config: TrainingConfig | None = None,
+    use_flor_args: bool = True,
+) -> TrainingResult:
+    """Train an MLP classifier under full FlorDB instrumentation.
+
+    With ``use_flor_args`` the hyperparameters are read through ``flor.arg``
+    (so replay restores the historical values); otherwise the passed
+    ``config`` is used verbatim (useful for uninstrumented baselines).
+    """
+    config = config or TrainingConfig()
+    if use_flor_args:
+        hidden = flor.arg("hidden", config.hidden)
+        num_epochs = flor.arg("epochs", config.epochs)
+        batch_size = flor.arg("batch_size", config.batch_size)
+        learning_rate = flor.arg("lr", config.lr)
+        seed = flor.arg("seed", config.seed)
+    else:
+        hidden = config.hidden
+        num_epochs = config.epochs
+        batch_size = config.batch_size
+        learning_rate = config.lr
+        seed = config.seed
+
+    net = MLPClassifier(
+        in_features=train_data.num_features,
+        num_classes=max(train_data.num_classes, test_data.num_classes),
+        hidden_sizes=(hidden,),
+        seed=seed,
+    )
+    if config.optimizer == "sgd":
+        optimizer = SGD(net, lr=learning_rate)
+    else:
+        optimizer = Adam(net, lr=learning_rate)
+    trainloader = DataLoader(train_data, batch_size=batch_size, shuffle=True, seed=seed)
+
+    losses: list[float] = []
+    accuracies: list[float] = []
+    recalls: list[float] = []
+
+    def run_epochs() -> None:
+        for _epoch in flor.loop("epoch", range(num_epochs)) if use_flor_args else range(num_epochs):
+            epoch_steps = flor.loop("step", trainloader) if use_flor_args else trainloader
+            for inputs, labels in epoch_steps:
+                optimizer.zero_grad()
+                loss = net.loss_and_backward(inputs, labels)
+                if use_flor_args:
+                    flor.log("loss", loss)
+                losses.append(loss)
+                optimizer.step()
+            predictions = net.predict(test_data.X)
+            acc = accuracy(test_data.y, predictions)
+            rec = recall(test_data.y, predictions)
+            if use_flor_args:
+                flor.log("acc", acc)
+                flor.log("recall", rec)
+            accuracies.append(acc)
+            recalls.append(rec)
+
+    if use_flor_args:
+        with flor.checkpointing(model=net, optimizer=optimizer):
+            run_epochs()
+    else:
+        run_epochs()
+    return TrainingResult(model=net, losses=losses, accuracies=accuracies, recalls=recalls)
+
+
+def make_synthetic_classification(
+    samples: int = 400,
+    features: int = 16,
+    classes: int = 3,
+    seed: int = 0,
+    noise: float = 0.5,
+) -> Dataset:
+    """Linearly separable-ish synthetic classification data for tests/benchmarks."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 3.0, size=(classes, features))
+    labels = rng.integers(0, classes, size=samples)
+    X = centers[labels] + rng.normal(0.0, noise, size=(samples, features))
+    return Dataset(X, labels)

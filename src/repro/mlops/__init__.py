@@ -1,0 +1,35 @@
+"""MLOps roles built on the FlorDB context store (Section 4 takeaways).
+
+The paper argues that one context store can replace a collection of bespoke
+ML metadata systems.  Each module here is one of those roles, implemented as
+a thin facade over the same ``logs`` / ``loops`` / ``obj_store`` tables:
+
+* :mod:`feature_store`    — store and query per-entity features post-execution,
+* :mod:`model_registry`   — register checkpoints, pick the best by metric,
+* :mod:`metric_registry`  — metric series and summaries (TensorBoard-style),
+* :mod:`label_store`      — human and model labels with provenance,
+* :mod:`governance`       — retroactive policy checks over recorded runs.
+"""
+
+from .export import dataframe_to_csv, dataframe_to_jsonl, export_scalars
+from .feature_store import FeatureStore
+from .governance import GovernancePolicy, GovernanceReport, PolicyViolation
+from .label_store import LabelStore, LabelRecord
+from .metric_registry import MetricRegistry, MetricSeries
+from .model_registry import ModelRegistry, RegisteredModel
+
+__all__ = [
+    "FeatureStore",
+    "ModelRegistry",
+    "RegisteredModel",
+    "MetricRegistry",
+    "MetricSeries",
+    "LabelStore",
+    "LabelRecord",
+    "GovernancePolicy",
+    "GovernanceReport",
+    "PolicyViolation",
+    "dataframe_to_csv",
+    "dataframe_to_jsonl",
+    "export_scalars",
+]

@@ -1,0 +1,87 @@
+"""Exports: CSV/JSON dataframe dumps and TensorBoard-style scalar files.
+
+The paper notes that FlorDB "can be used with TensorBoard to visualize
+training metrics" and that metadata should flow into standard tools rather
+than a proprietary store.  This module provides the outbound half of that
+story: pivoted views export to CSV or JSON Lines for spreadsheets and
+notebooks, and metric series export to the simple
+``run/<tag>.scalars.json`` layout that scalar-plotting dashboards ingest
+(step, wall_time, value triples — the same shape TensorBoard's scalar export
+uses).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..core.session import Session
+from ..dataframe import DataFrame
+from .metric_registry import MetricRegistry
+
+
+def dataframe_to_csv(frame: DataFrame, path: Path | str) -> Path:
+    """Write a dataframe to ``path`` as UTF-8 CSV (header + one row per record)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=frame.columns)
+        writer.writeheader()
+        for row in frame.to_records():
+            writer.writerow({k: _cell(v) for k, v in row.items()})
+    return path
+
+
+def dataframe_to_jsonl(frame: DataFrame, path: Path | str) -> Path:
+    """Write a dataframe to ``path`` as JSON Lines (one object per row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in frame.to_records():
+            handle.write(json.dumps(row, default=str) + "\n")
+    return path
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, (list, dict)):
+        return json.dumps(value, default=str)
+    return str(value)
+
+
+def export_scalars(
+    session: Session,
+    metrics: Sequence[str],
+    directory: Path | str,
+    runs: Sequence[str] | None = None,
+) -> dict[str, list[str]]:
+    """Export metric series as TensorBoard-style scalar files.
+
+    Layout: ``<directory>/<run index>/<metric>.scalars.json`` where each file
+    holds a list of ``{"step", "value", "tstamp"}`` points.  Returns a map
+    from run timestamp to the files written for it.
+    """
+    directory = Path(directory)
+    registry = MetricRegistry(session)
+    written: dict[str, list[str]] = {}
+    for metric in metrics:
+        run_ids = registry.runs(metric)
+        if runs is not None:
+            run_ids = [r for r in run_ids if r in set(runs)]
+        for index, tstamp in enumerate(run_ids):
+            series = registry.series(metric, tstamp)
+            if not series.values:
+                continue
+            run_dir = directory / f"run_{index:03d}"
+            run_dir.mkdir(parents=True, exist_ok=True)
+            payload = [
+                {"step": step, "value": value, "tstamp": tstamp}
+                for step, value in zip(series.steps, series.values)
+            ]
+            target = run_dir / f"{metric}.scalars.json"
+            target.write_text(json.dumps(payload, indent=2))
+            written.setdefault(tstamp, []).append(str(target))
+    return written

@@ -1,0 +1,75 @@
+"""Feature-store role: "feature storage and querying after execution" (§4.1).
+
+A feature here is any value logged inside an entity loop (e.g. per document
+and page).  The store offers the two halves of a conventional feature store —
+offline materialization (a training frame) and online lookup (features of one
+entity) — without requiring any registration before the pipeline ran, which
+is exactly the paper's takeaway for featurization contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..core.session import Session
+from ..dataframe import DataFrame
+from ..relational.queries import latest
+
+
+class FeatureStore:
+    """Query and write per-entity features through a FlorDB session."""
+
+    def __init__(self, session: Session, entity_loop: str = "document", sub_entity_loop: str | None = "page"):
+        self.session = session
+        self.entity_loop = entity_loop
+        self.sub_entity_loop = sub_entity_loop
+
+    # ----------------------------------------------------------------- reads
+    def materialize(self, feature_names: Sequence[str], latest_only: bool = True) -> DataFrame:
+        """Offline view: one row per entity (and sub-entity) with feature columns."""
+        frame = self.session.dataframe(*feature_names)
+        if latest_only and not frame.empty:
+            frame = latest(frame)
+        return frame
+
+    def entities(self, feature_names: Sequence[str]) -> list[Any]:
+        """Distinct entity identifiers that have at least one feature recorded."""
+        frame = self.session.dataframe(*feature_names)
+        column = f"{self.entity_loop}_value"
+        if frame.empty or column not in frame:
+            return []
+        return frame[column].unique()
+
+    def get_features(self, entity: Any, feature_names: Sequence[str]) -> list[dict[str, Any]]:
+        """Online view: the latest feature rows for one entity."""
+        frame = self.materialize(feature_names, latest_only=False)
+        column = f"{self.entity_loop}_value"
+        if frame.empty or column not in frame:
+            return []
+        rows = frame[frame[column] == entity]
+        if rows.empty:
+            return []
+        rows = latest(rows)
+        return rows.to_records()
+
+    def feature_names(self) -> list[str]:
+        """Every value name ever logged for this project."""
+        return self.session.logs.distinct_names(self.session.projid)
+
+    # ---------------------------------------------------------------- writes
+    def write_features(self, entity: Any, features: Mapping[str, Any], sub_entity: Any | None = None) -> None:
+        """Record features for an entity outside of a pipeline loop.
+
+        Used by serving-time callers (e.g. the feedback app) that compute a
+        feature on demand; the write shares the provenance machinery of the
+        batch pipeline because it goes through the same ``iteration`` API.
+        """
+        with self.session.iteration(self.entity_loop, None, entity):
+            if sub_entity is not None and self.sub_entity_loop:
+                with self.session.iteration(self.sub_entity_loop, None, sub_entity):
+                    for name, value in features.items():
+                        self.session.log(name, value)
+            else:
+                for name, value in features.items():
+                    self.session.log(name, value)
+        self.session.flush()

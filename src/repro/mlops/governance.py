@@ -1,0 +1,173 @@
+"""Governance role: "post-hoc governance enforcement" (§4.2).
+
+Policies are declared *after* the runs happened and evaluated against the
+recorded context — e.g. "flag any training run whose dataset hash appears on
+the poisoned-dataset blocklist" or "flag runs whose accuracy jumped
+implausibly between epochs".  Because FlorDB retains every run's logs, the
+check is retroactive by construction; when a needed value was never logged,
+hindsight logging can backfill it first and the policy re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.session import Session
+from ..errors import GovernanceError
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """One rule violation found in one recorded run (row)."""
+
+    policy: str
+    tstamp: str
+    detail: str
+    row: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass
+class GovernanceReport:
+    """Outcome of evaluating a set of policies against recorded history."""
+
+    checked_rows: int = 0
+    violations: list[PolicyViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violations_by_policy(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.policy] = counts.get(violation.policy, 0) + 1
+        return counts
+
+
+@dataclass
+class _Rule:
+    name: str
+    value_names: tuple[str, ...]
+    predicate: Callable[[dict[str, Any]], str | None]
+
+
+class GovernancePolicy:
+    """A collection of retroactive checks over logged values."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self._rules: list[_Rule] = []
+
+    # --------------------------------------------------------------- authoring
+    def add_rule(
+        self,
+        name: str,
+        value_names: Sequence[str],
+        predicate: Callable[[dict[str, Any]], str | None],
+    ) -> None:
+        """Add a custom rule.
+
+        ``predicate`` receives a pivoted row (run metadata plus the requested
+        value columns) and returns a human-readable violation string, or
+        ``None`` when the row is compliant.
+        """
+        if not value_names:
+            raise GovernanceError(f"rule {name!r} must name at least one logged value")
+        self._rules.append(_Rule(name, tuple(value_names), predicate))
+
+    def add_blocklist_rule(self, name: str, value_name: str, blocked: Sequence[Any]) -> None:
+        """Flag rows whose ``value_name`` appears in ``blocked`` (e.g. poisoned dataset hashes)."""
+        blocked_set = {str(b) for b in blocked}
+
+        def predicate(row: dict[str, Any]) -> str | None:
+            value = row.get(value_name)
+            if value is not None and str(value) in blocked_set:
+                return f"{value_name}={value!r} is on the blocklist"
+            return None
+
+        self.add_rule(name, [value_name], predicate)
+
+    def add_range_rule(
+        self, name: str, value_name: str, minimum: float | None = None, maximum: float | None = None
+    ) -> None:
+        """Flag rows whose numeric ``value_name`` falls outside ``[minimum, maximum]``."""
+
+        def predicate(row: dict[str, Any]) -> str | None:
+            value = row.get(value_name)
+            if value is None:
+                return None
+            try:
+                numeric = float(value)
+            except (TypeError, ValueError):
+                return f"{value_name}={value!r} is not numeric"
+            if minimum is not None and numeric < minimum:
+                return f"{value_name}={numeric} below minimum {minimum}"
+            if maximum is not None and numeric > maximum:
+                return f"{value_name}={numeric} above maximum {maximum}"
+            return None
+
+        self.add_rule(name, [value_name], predicate)
+
+    def add_required_rule(self, name: str, value_name: str) -> None:
+        """Flag rows where ``value_name`` was never logged (missing provenance)."""
+
+        def predicate(row: dict[str, Any]) -> str | None:
+            if row.get(value_name) is None:
+                return f"required value {value_name!r} was not logged"
+            return None
+
+        self.add_rule(name, [value_name], predicate)
+
+    # --------------------------------------------------------------- execution
+    def evaluate(self) -> GovernanceReport:
+        """Evaluate every rule against the recorded history.
+
+        Each violation is reported once per ``(policy, run, detail)``: a
+        run-level property broadcast over many loop rows (e.g. a dataset
+        hash) yields a single violation for that run, while per-iteration
+        values (e.g. an out-of-range metric at several epochs) yield one
+        violation per offending value.
+        """
+        report = GovernanceReport()
+        if not self._rules:
+            return report
+        all_names = sorted({n for rule in self._rules for n in rule.value_names})
+        frame = self.session.dataframe(*all_names)
+        rows = frame.to_records()
+        if not rows:
+            # Nothing was ever logged under the requested names: evaluate the
+            # rules once per recorded epoch so "required value" checks still
+            # surface the gap.
+            rows = [
+                {"projid": self.session.projid, "tstamp": epoch.ts_start}
+                for epoch in self.session.ts2vid.all(self.session.projid)
+            ]
+        report.checked_rows = len(rows)
+        seen: set[tuple[str, str, str]] = set()
+        for row in rows:
+            for rule in self._rules:
+                detail = rule.predicate(row)
+                if detail is None:
+                    continue
+                key = (rule.name, row.get("tstamp", ""), detail)
+                if key in seen:
+                    continue
+                seen.add(key)
+                report.violations.append(
+                    PolicyViolation(
+                        policy=rule.name,
+                        tstamp=row.get("tstamp", ""),
+                        detail=detail,
+                        row=dict(row),
+                    )
+                )
+        return report
+
+    def enforce(self) -> GovernanceReport:
+        """Evaluate and raise :class:`GovernanceError` when violations exist."""
+        report = self.evaluate()
+        if not report.ok:
+            summary = ", ".join(f"{k}×{v}" for k, v in sorted(report.violations_by_policy().items()))
+            raise GovernanceError(f"governance violations found: {summary}")
+        return report

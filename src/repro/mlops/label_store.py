@@ -1,0 +1,131 @@
+"""Label-store role: machine and human labels with provenance (§4.4).
+
+The feedback loop of the PDF-parser demo mixes model predictions with expert
+corrections submitted through the web UI.  Both kinds of label flow through
+``flor.log`` with a source tag, so "who labelled this page, and when?" is a
+query rather than a spreadsheet.  ``resolve`` implements the demo's display
+rule: prefer the newest human label, fall back to the newest model label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..core.session import Session
+
+SOURCE_HUMAN = "human"
+SOURCE_MODEL = "model"
+
+
+@dataclass(frozen=True)
+class LabelRecord:
+    """One label for one entity (e.g. one page of one document)."""
+
+    entity: Any
+    sub_entity: Any
+    name: str
+    value: Any
+    source: str
+    tstamp: str
+
+
+class LabelStore:
+    """Record and resolve labels keyed by (entity, sub-entity)."""
+
+    def __init__(
+        self,
+        session: Session,
+        entity_loop: str = "document",
+        sub_entity_loop: str = "page",
+        filename: str = "labels",
+    ):
+        self.session = session
+        self.entity_loop = entity_loop
+        self.sub_entity_loop = sub_entity_loop
+        self.filename = filename
+
+    # ---------------------------------------------------------------- writes
+    def record_labels(
+        self,
+        entity: Any,
+        labels: Mapping[Any, Mapping[str, Any]],
+        source: str = SOURCE_HUMAN,
+    ) -> int:
+        """Record labels for several sub-entities of one entity.
+
+        ``labels`` maps sub-entity (e.g. page index) to ``{label_name: value}``.
+        Returns the number of label values written.
+        """
+        written = 0
+        with self.session.iteration(self.entity_loop, None, entity, filename=self.filename):
+            for sub_entity, values in labels.items():
+                with self.session.iteration(self.sub_entity_loop, None, sub_entity, filename=self.filename):
+                    for name, value in values.items():
+                        self.session.log(name, value, filename=self.filename)
+                        self.session.log(f"{name}__source", source, filename=self.filename)
+                        written += 1
+        self.session.flush()
+        return written
+
+    def record_model_labels(self, entity: Any, labels: Mapping[Any, Mapping[str, Any]]) -> int:
+        return self.record_labels(entity, labels, source=SOURCE_MODEL)
+
+    # ----------------------------------------------------------------- reads
+    def labels(self, name: str) -> list[LabelRecord]:
+        """Every recorded label value for ``name`` with its provenance."""
+        frame = self.session.dataframe(name, f"{name}__source")
+        records: list[LabelRecord] = []
+        entity_col = f"{self.entity_loop}_value"
+        sub_col = f"{self.sub_entity_loop}_value"
+        for row in frame.to_records():
+            if row.get(name) is None:
+                continue
+            records.append(
+                LabelRecord(
+                    entity=row.get(entity_col),
+                    sub_entity=row.get(sub_col),
+                    name=name,
+                    value=row.get(name),
+                    source=row.get(f"{name}__source") or SOURCE_MODEL,
+                    tstamp=row.get("tstamp"),
+                )
+            )
+        return records
+
+    def resolve(self, name: str, entity: Any) -> dict[Any, LabelRecord]:
+        """Current label per sub-entity of ``entity``.
+
+        Human labels win over model labels; within a source the newest
+        timestamp wins.  This is the display logic of the demo UI.
+        """
+        candidates = [r for r in self.labels(name) if r.entity == entity]
+        resolved: dict[Any, LabelRecord] = {}
+        for record in candidates:
+            key = record.sub_entity
+            current = resolved.get(key)
+            if current is None or self._wins(record, current):
+                resolved[key] = record
+        return resolved
+
+    @staticmethod
+    def _wins(challenger: LabelRecord, incumbent: LabelRecord) -> bool:
+        rank = {SOURCE_HUMAN: 1, SOURCE_MODEL: 0}
+        challenger_rank = rank.get(challenger.source, 0)
+        incumbent_rank = rank.get(incumbent.source, 0)
+        if challenger_rank != incumbent_rank:
+            return challenger_rank > incumbent_rank
+        return (challenger.tstamp or "") >= (incumbent.tstamp or "")
+
+    def coverage(self, name: str, entities: Sequence[Any]) -> dict[str, float]:
+        """Fraction of the given entities that have at least one human label."""
+        by_entity = {}
+        for record in self.labels(name):
+            if record.source == SOURCE_HUMAN:
+                by_entity[record.entity] = True
+        labelled = sum(1 for e in entities if by_entity.get(e))
+        return {
+            "entities": float(len(entities)),
+            "human_labelled": float(labelled),
+            "coverage": labelled / len(entities) if entities else 0.0,
+        }

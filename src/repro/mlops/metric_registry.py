@@ -1,0 +1,121 @@
+"""Metric-registry role: "metric registry and visualization after execution" (§4).
+
+TensorBoard-style access to metrics that were simply ``flor.log``-ged during
+training: per-run series, cross-run comparison tables, and text sparklines
+for terminal inspection — none of which required configuration before the
+runs happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.session import Session
+from ..dataframe import DataFrame
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class MetricSeries:
+    """One metric's trajectory within one run."""
+
+    name: str
+    tstamp: str
+    steps: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def final(self) -> float | None:
+        return self.values[-1] if self.values else None
+
+    @property
+    def best(self) -> float | None:
+        return max(self.values) if self.values else None
+
+    @property
+    def worst(self) -> float | None:
+        return min(self.values) if self.values else None
+
+    def sparkline(self) -> str:
+        """Unicode sparkline of the series (empty string when no data)."""
+        if not self.values:
+            return ""
+        low, high = min(self.values), max(self.values)
+        span = (high - low) or 1.0
+        return "".join(
+            _SPARK_CHARS[int((v - low) / span * (len(_SPARK_CHARS) - 1))] for v in self.values
+        )
+
+
+class MetricRegistry:
+    """Query metric series and summaries from recorded runs."""
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    def runs(self, metric: str) -> list[str]:
+        """Timestamps of runs that recorded ``metric``, oldest first."""
+        frame = self.session.dataframe(metric)
+        if frame.empty:
+            return []
+        return sorted(set(frame["tstamp"].dropna().to_list()))
+
+    def series(self, metric: str, tstamp: str | None = None, step_dim: str | None = None) -> MetricSeries:
+        """The metric's trajectory within one run (latest run by default).
+
+        ``step_dim`` picks the loop dimension used as the x-axis; when
+        omitted the innermost dimension present is used, falling back to the
+        record order.
+        """
+        frame = self.session.dataframe(metric)
+        if frame.empty:
+            return MetricSeries(name=metric, tstamp=tstamp or "")
+        if tstamp is None:
+            tstamp = max(frame["tstamp"].dropna().to_list())
+        rows = [r for r in frame.to_records() if r.get("tstamp") == tstamp and r.get(metric) is not None]
+        dims = [
+            c for c in frame.columns
+            if c not in {"projid", "tstamp", "filename", metric} and not c.endswith("_value")
+        ]
+        axis = step_dim if step_dim in dims else (dims[-1] if dims else None)
+        series = MetricSeries(name=metric, tstamp=tstamp)
+        for i, row in enumerate(rows):
+            step = row.get(axis) if axis is not None else i
+            series.steps.append(int(step) if step is not None else i)
+            series.values.append(float(row[metric]))
+        return series
+
+    def compare_runs(self, metrics: Sequence[str]) -> DataFrame:
+        """One row per run with the final value of each requested metric."""
+        frame = self.session.dataframe(*metrics)
+        if frame.empty:
+            return frame
+        grouped = frame.groupby("tstamp").agg({m: "last" for m in metrics if m in frame})
+        return grouped.sort_values("tstamp")
+
+    def summary(self, metric: str) -> dict[str, float | int | None]:
+        """Cross-run summary of a metric: runs, points, best/worst/latest final."""
+        run_ids = self.runs(metric)
+        finals = [self.series(metric, ts).final for ts in run_ids]
+        finals = [f for f in finals if f is not None]
+        all_points = sum(len(self.series(metric, ts)) for ts in run_ids)
+        return {
+            "runs": len(run_ids),
+            "points": all_points,
+            "best_final": max(finals) if finals else None,
+            "worst_final": min(finals) if finals else None,
+            "latest_final": finals[-1] if finals else None,
+        }
+
+    def render(self, metric: str, tstamp: str | None = None) -> str:
+        """Terminal-friendly rendering: name, final value and sparkline."""
+        series = self.series(metric, tstamp)
+        if not series.values:
+            return f"{metric}: (no data)"
+        return f"{metric}@{series.tstamp}: final={series.final:.4f} {series.sparkline()}"

@@ -1,0 +1,151 @@
+"""Model-registry role: checkpoint selection "post-execution" (§4.2).
+
+The paper's inference pipeline asks FlorDB for
+``flor.dataframe("acc", "recall")`` and picks the checkpoint with the best
+recall — no separate registry service.  This module packages that pattern:
+models register themselves (pickled into ``obj_store`` alongside their
+metrics), and ``best`` / ``load_best`` answer "which checkpoint should
+inference use?" from the recorded history.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.session import Session
+from ..dataframe import DataFrame
+from ..errors import ReproError
+from ..relational.records import ObjectRecord
+
+_MODEL_PREFIX = "model::"
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One registered model version."""
+
+    name: str
+    tstamp: str
+    filename: str
+    metrics: dict[str, float]
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.tstamp, self.name)
+
+
+class ModelRegistry:
+    """Register, list and select model checkpoints through FlorDB."""
+
+    def __init__(self, session: Session, filename: str = "train.py"):
+        self.session = session
+        self.filename = filename
+
+    # ------------------------------------------------------------- register
+    def register(self, name: str, model: Any, metrics: Mapping[str, float]) -> RegisteredModel:
+        """Persist ``model`` plus its evaluation metrics for later selection."""
+        tstamp = self.session.tstamp
+        payload = self._serialize(model)
+        self.session.objects.put(
+            ObjectRecord(
+                projid=self.session.projid,
+                tstamp=tstamp,
+                filename=self.filename,
+                ctx_id=0,
+                value_name=f"{_MODEL_PREFIX}{name}",
+                contents=payload,
+            )
+        )
+        for metric, value in metrics.items():
+            self.session.log(metric, float(value), filename=self.filename)
+        self.session.log("model_name", name, filename=self.filename)
+        self.session.flush()
+        return RegisteredModel(
+            name=name,
+            tstamp=tstamp,
+            filename=self.filename,
+            metrics={k: float(v) for k, v in metrics.items()},
+        )
+
+    def _serialize(self, model: Any) -> bytes:
+        state_getter = getattr(model, "state_dict", None)
+        payload = {"state_dict": state_getter()} if callable(state_getter) else {"object": model}
+        payload["class"] = type(model).__name__
+        if hasattr(model, "in_features"):
+            payload["init"] = {
+                "in_features": model.in_features,
+                "num_classes": model.num_classes,
+                "hidden_sizes": model.hidden_sizes,
+            }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    # ---------------------------------------------------------------- query
+    def metrics_frame(self, *metric_names: str) -> DataFrame:
+        """All recorded metric values across training runs."""
+        names = metric_names or ("acc", "recall")
+        return self.session.dataframe(*names)
+
+    def list_models(self) -> list[tuple[str, str]]:
+        """``(tstamp, model_name)`` of every registered checkpoint."""
+        out = []
+        for tstamp, filename, _ctx, value_name in self.session.objects.list_keys(self.session.projid):
+            if filename == self.filename and value_name.startswith(_MODEL_PREFIX):
+                out.append((tstamp, value_name[len(_MODEL_PREFIX):]))
+        return sorted(out)
+
+    def best(self, metric: str = "recall") -> dict[str, Any] | None:
+        """The run (row) with the highest recorded value for ``metric``."""
+        frame = self.session.dataframe(metric)
+        if frame.empty or metric not in frame:
+            return None
+        rows = [r for r in frame.to_records() if r.get(metric) is not None]
+        if not rows:
+            return None
+        return max(rows, key=lambda r: r[metric])
+
+    # ----------------------------------------------------------------- load
+    def load(self, tstamp: str, name: str, model_factory=None) -> Any:
+        """Rehydrate a registered model.
+
+        When the stored payload is a state dict, ``model_factory`` (or the
+        recorded init signature with :class:`repro.ml.MLPClassifier`) builds
+        the empty model before the state is loaded into it.
+        """
+        record = self.session.objects.get(
+            self.session.projid, tstamp, self.filename, 0, f"{_MODEL_PREFIX}{name}"
+        )
+        if record is None:
+            raise ReproError(f"no registered model {name!r} at tstamp {tstamp}")
+        payload = pickle.loads(record.contents)
+        if "object" in payload:
+            return payload["object"]
+        state = payload["state_dict"]
+        if model_factory is not None:
+            model = model_factory()
+        elif "init" in payload:
+            from ..ml.mlp import MLPClassifier
+
+            init = payload["init"]
+            model = MLPClassifier(
+                in_features=init["in_features"],
+                num_classes=init["num_classes"],
+                hidden_sizes=tuple(init["hidden_sizes"]),
+            )
+        else:
+            raise ReproError(f"model {name!r} stored as a state dict; pass model_factory to load it")
+        model.load_state_dict(state)
+        return model
+
+    def load_best(self, metric: str = "recall", model_factory=None) -> tuple[Any, dict[str, Any]] | None:
+        """Load the checkpoint of the best run by ``metric`` (model, run-row)."""
+        best_row = self.best(metric)
+        if best_row is None:
+            return None
+        tstamp = best_row["tstamp"]
+        candidates = [name for ts, name in self.list_models() if ts == tstamp]
+        if not candidates:
+            return None
+        model = self.load(tstamp, candidates[-1], model_factory=model_factory)
+        return model, best_row

@@ -1,0 +1,219 @@
+"""The end-to-end document-intelligence pipeline of the PDF-parser demo (§4).
+
+One class, five stages — the same stages as the demo's Makefile (Figure 4):
+
+``process_pdfs`` → ``featurize`` → ``train`` → ``infer`` → ``serve``
+
+Each stage is an ordinary Python method that uses the substrates in this
+repository (synthetic corpus, NumPy classifier, feedback web app) and logs
+its context through the FlorDB session, so the pipeline doubles as the
+integration fixture for tests and as the workload behind the F2/F4
+benchmarks.  The Make-like executor binds each Makefile target to one of
+these methods via :class:`repro.build.executor.CallableRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .core.session import Session
+from .docs.corpus import DocumentCorpus, generate_corpus
+from .docs.featurize import PageFeatures, feature_vector, featurize_corpus
+from .errors import PipelineError
+from .ml.dataset import Dataset, train_test_split
+from .ml.metrics import accuracy, recall
+from .ml.mlp import MLPClassifier
+from .ml.optim import Adam
+from .mlops.model_registry import ModelRegistry
+from .webapp.pdf_app import PdfParserApp
+
+#: Filenames stamped on each stage's records (matches the demo's scripts).
+DEMUX_FILE = "pdf_demux.py"
+FEATURIZE_FILE = "featurize.py"
+TRAIN_FILE = "train.py"
+INFER_FILE = "infer.py"
+APP_FILE = "app.py"
+
+
+@dataclass
+class PipelineState:
+    """Artifacts carried between pipeline stages."""
+
+    corpus: DocumentCorpus | None = None
+    features: list[PageFeatures] = field(default_factory=list)
+    model: MLPClassifier | None = None
+    predictions: dict[tuple[str, int], int] = field(default_factory=dict)
+    app: PdfParserApp | None = None
+
+
+class PdfPipeline:
+    """The demo pipeline bound to one FlorDB session."""
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        documents: int = 4,
+        max_pages: int = 6,
+        epochs: int = 2,
+        hidden: int = 16,
+        seed: int = 0,
+    ):
+        self.session = session
+        self.documents = documents
+        self.max_pages = max_pages
+        self.epochs = epochs
+        self.hidden = hidden
+        self.seed = seed
+        self.state = PipelineState()
+        self.registry = ModelRegistry(session, filename=TRAIN_FILE)
+
+    # ------------------------------------------------------------------ demux
+    def process_pdfs(self) -> DocumentCorpus:
+        """Stage 1: "split PDFs into per-page documents" (synthetic corpus)."""
+        corpus = generate_corpus(
+            num_documents=self.documents,
+            min_pages=2,
+            max_pages=self.max_pages,
+            seed=self.seed,
+        )
+        self.state.corpus = corpus
+        self.session.log("num_documents", len(corpus), filename=DEMUX_FILE)
+        self.session.log("num_pages", corpus.total_pages, filename=DEMUX_FILE)
+        return corpus
+
+    # -------------------------------------------------------------- featurize
+    def featurize(self) -> list[PageFeatures]:
+        """Stage 2: the Figure 3 featurization loop over every page."""
+        corpus = self._require_corpus()
+        for doc_name in self.session.loop("document", corpus.document_names(), filename=FEATURIZE_FILE):
+            document = corpus.get(doc_name)
+            for page_index in self.session.loop("page", range(len(document)), filename=FEATURIZE_FILE):
+                from .docs.ocr import read_page
+
+                extraction = read_page(document, page_index, seed=corpus.seed)
+                text_src, page_text = extraction.as_tuple()
+                self.session.log("text_src", text_src, filename=FEATURIZE_FILE)
+                self.session.log("page_text", page_text[:200], filename=FEATURIZE_FILE)
+                from .docs.featurize import extract_features
+
+                features = extract_features(document, page_index, extraction)
+                self.session.log("headings", features.headings, filename=FEATURIZE_FILE)
+                self.session.log("page_numbers", features.page_numbers, filename=FEATURIZE_FILE)
+                self.session.log("first_page", int(document.pages[page_index].is_first_page), filename=FEATURIZE_FILE)
+                self.state.features.append(features)
+        self.session.flush()
+        return self.state.features
+
+    # ------------------------------------------------------------------ train
+    def train(self) -> MLPClassifier:
+        """Stage 3: the Figure 5 training loop over labelled page features."""
+        features = self.state.features or self.featurize()
+        corpus = self._require_corpus()
+        X = np.stack([feature_vector(f) for f in features])
+        y = np.array(
+            [1 if corpus.get(f.document).pages[f.page_index].is_first_page else 0 for f in features],
+            dtype=np.int64,
+        )
+        dataset = Dataset(X, y)
+        if len(dataset) < 4:
+            raise PipelineError("not enough featurized pages to train on")
+        train_data, test_data = train_test_split(dataset, test_fraction=0.25, seed=self.seed)
+        if test_data.y.size == 0:
+            train_data, test_data = dataset, dataset
+
+        hidden = self.session.arg("hidden", self.hidden, filename=TRAIN_FILE)
+        num_epochs = self.session.arg("epochs", self.epochs, filename=TRAIN_FILE)
+        learning_rate = self.session.arg("lr", 1e-2, filename=TRAIN_FILE)
+        seed = self.session.arg("seed", self.seed, filename=TRAIN_FILE)
+
+        net = MLPClassifier(dataset.num_features, 2, hidden_sizes=(hidden,), seed=seed)
+        optimizer = Adam(net, lr=learning_rate)
+        acc = rec = 0.0
+        with self.session.checkpointing(model=net, optimizer=optimizer, filename=TRAIN_FILE):
+            for _epoch in self.session.loop("epoch", range(num_epochs), filename=TRAIN_FILE):
+                for start in self.session.loop("step", range(0, len(train_data), 16), filename=TRAIN_FILE):
+                    batch = slice(start, start + 16)
+                    optimizer.zero_grad()
+                    loss = net.loss_and_backward(train_data.X[batch], train_data.y[batch])
+                    self.session.log("loss", loss, filename=TRAIN_FILE)
+                    optimizer.step()
+                predictions = net.predict(test_data.X)
+                acc = accuracy(test_data.y, predictions)
+                rec = recall(test_data.y, predictions, positive_class=1)
+                self.session.log("acc", acc, filename=TRAIN_FILE)
+                self.session.log("recall", rec, filename=TRAIN_FILE)
+        self.registry.register("first_page_classifier", net, {"acc": acc, "recall": rec})
+        self.state.model = net
+        return net
+
+    # ------------------------------------------------------------------ infer
+    def infer(self) -> dict[tuple[str, int], int]:
+        """Stage 4: predict with the best recorded checkpoint (model registry role)."""
+        corpus = self._require_corpus()
+        loaded = self.registry.load_best("recall")
+        if loaded is not None:
+            model, best_row = loaded
+            self.session.log("selected_model_tstamp", best_row["tstamp"], filename=INFER_FILE)
+        elif self.state.model is not None:
+            model = self.state.model
+        else:
+            raise PipelineError("no trained model available; run the train stage first")
+        features = self.state.features or list(featurize_corpus(corpus, use_flor=False))
+        predictions: dict[tuple[str, int], int] = {}
+        for doc_name in self.session.loop("document", corpus.document_names(), filename=INFER_FILE):
+            document = corpus.get(doc_name)
+            doc_features = [f for f in features if f.document == doc_name]
+            for page_index in self.session.loop("page", range(len(document)), filename=INFER_FILE):
+                matching = [f for f in doc_features if f.page_index == page_index]
+                if not matching:
+                    continue
+                vector = feature_vector(matching[0]).reshape(1, -1)
+                predicted = int(model.predict(vector)[0])
+                self.session.log("pred_first_page", predicted, filename=INFER_FILE)
+                predictions[(doc_name, page_index)] = predicted
+        self.session.flush()
+        self.state.predictions = predictions
+        return predictions
+
+    # ------------------------------------------------------------------ serve
+    def serve(self) -> PdfParserApp:
+        """Stage 5: the feedback web application over the processed corpus."""
+        corpus = self._require_corpus()
+        self.state.app = PdfParserApp(self.session, corpus)
+        return self.state.app
+
+    # -------------------------------------------------------------- utilities
+    def run_all(self, commit: bool = True) -> PipelineState:
+        """Run every stage in order; optionally commit at the end."""
+        self.process_pdfs()
+        self.featurize()
+        self.train()
+        self.infer()
+        self.serve()
+        if commit:
+            self.session.commit("pipeline run")
+        return self.state
+
+    def feedback_round(self, corrections: dict[str, list[int]]) -> int:
+        """Simulate experts posting corrected page colors through the app."""
+        app = self.state.app or self.serve()
+        client = app.test_client()
+        saved = 0
+        for pdf_name, colors in corrections.items():
+            response = client.post("/save_colors", json_body={"pdf_name": pdf_name, "colors": colors})
+            if not response.ok:
+                raise PipelineError(f"feedback submission failed: {response.body}")
+            saved += response.json()["count"]
+        return saved
+
+    def _require_corpus(self) -> DocumentCorpus:
+        if self.state.corpus is None:
+            return self.process_pdfs()
+        return self.state.corpus
+
+
+__all__ = ["PdfPipeline", "PipelineState"]

@@ -1,0 +1,35 @@
+"""SQLite-backed relational data model (Figure 1 of the paper).
+
+Physical tables: ``logs``, ``loops``, ``ts2vid``, ``obj_store``,
+``build_deps``.  The ``git`` table of the figure is *virtual*: it is served
+by the :mod:`repro.versioning` store and surfaced through
+:func:`repro.relational.queries.git_view`.
+"""
+
+from .database import Database
+from .records import BuildDepRecord, LogRecord, LoopRecord, ObjectRecord, Ts2VidRecord
+from .repositories import (
+    BuildDepRepository,
+    LogRepository,
+    LoopRepository,
+    ObjectRepository,
+    Ts2VidRepository,
+)
+from .schema import SCHEMA_VERSION, TABLES, create_schema
+
+__all__ = [
+    "Database",
+    "LogRecord",
+    "LoopRecord",
+    "Ts2VidRecord",
+    "ObjectRecord",
+    "BuildDepRecord",
+    "LogRepository",
+    "LoopRepository",
+    "Ts2VidRepository",
+    "ObjectRepository",
+    "BuildDepRepository",
+    "SCHEMA_VERSION",
+    "TABLES",
+    "create_schema",
+]

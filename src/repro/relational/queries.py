@@ -1,0 +1,169 @@
+"""Higher-level query shapes over the relational data model.
+
+The central export is :func:`long_format_records`, which joins ``logs`` with
+the ``loops`` table to annotate every log record with its loop dimensions
+(document, page, epoch, step, ...).  The pivoted user-facing view built on
+top of it lives in :mod:`repro.core.dataframe_view`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..dataframe import DataFrame, from_records
+from .database import Database
+from .records import LoopRecord, decode_value
+from .repositories import LogRepository, LoopRepository, Ts2VidRepository
+
+#: Reserved dimension columns that always appear in the pivoted view.
+BASE_DIMENSIONS = ("projid", "tstamp", "filename")
+
+
+@dataclass
+class AnnotatedLog:
+    """A log record joined with its loop-dimension ancestry.
+
+    ``dimensions`` maps loop name to iteration index and ``dimension_values``
+    maps ``<loop_name>_value`` to the stringified iteration value, ordered
+    from the outermost loop inward.
+    """
+
+    projid: str
+    tstamp: str
+    filename: str
+    ctx_id: int
+    value_name: str
+    value: Any
+    dimensions: dict[str, int] = field(default_factory=dict)
+    dimension_values: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return len(self.dimensions)
+
+    def dimension_key(self) -> tuple:
+        """Hashable key of the record's loop position (outermost first)."""
+        return tuple(self.dimensions.items())
+
+    def as_row(self) -> dict[str, Any]:
+        row: dict[str, Any] = {
+            "projid": self.projid,
+            "tstamp": self.tstamp,
+            "filename": self.filename,
+            "ctx_id": self.ctx_id,
+            "value_name": self.value_name,
+            "value": self.value,
+        }
+        row.update(self.dimensions)
+        row.update(self.dimension_values)
+        return row
+
+
+def _loop_ancestry(
+    loops_by_ctx: dict[int, LoopRecord], ctx_id: int
+) -> list[LoopRecord]:
+    """Return the loop chain for ``ctx_id`` from outermost to innermost."""
+    chain: list[LoopRecord] = []
+    seen: set[int] = set()
+    current = loops_by_ctx.get(ctx_id)
+    while current is not None and current.ctx_id not in seen:
+        chain.append(current)
+        seen.add(current.ctx_id)
+        parent = current.parent_ctx_id
+        current = loops_by_ctx.get(parent) if parent is not None else None
+    chain.reverse()
+    return chain
+
+
+def long_format_records(
+    db: Database,
+    projid: str,
+    value_names: Sequence[str] | None = None,
+) -> list[AnnotatedLog]:
+    """Join logs with loop dimensions, producing one annotated row per record.
+
+    ``value_names`` of ``None`` returns all logged names.  ``ctx_id`` 0 means
+    "logged outside any loop" and yields empty dimensions.
+    """
+    log_repo = LogRepository(db)
+    loop_repo = LoopRepository(db)
+    logs = (
+        log_repo.all(projid)
+        if value_names is None
+        else log_repo.by_names(projid, list(value_names))
+    )
+    loops_index: dict[tuple[str, str], dict[int, LoopRecord]] = {}
+    for loop in loop_repo.all(projid):
+        loops_index.setdefault((loop.tstamp, loop.filename), {})[loop.ctx_id] = loop
+
+    annotated: list[AnnotatedLog] = []
+    for record in logs:
+        loops_by_ctx = loops_index.get((record.tstamp, record.filename), {})
+        chain = _loop_ancestry(loops_by_ctx, record.ctx_id)
+        dimensions = {loop.loop_name: loop.loop_iteration for loop in chain}
+        dimension_values = {
+            f"{loop.loop_name}_value": loop.iteration_value for loop in chain
+        }
+        annotated.append(
+            AnnotatedLog(
+                projid=record.projid,
+                tstamp=record.tstamp,
+                filename=record.filename,
+                ctx_id=record.ctx_id,
+                value_name=record.value_name,
+                value=decode_value(record.value, record.value_type),
+                dimensions=dimensions,
+                dimension_values=dimension_values,
+            )
+        )
+    return annotated
+
+
+def long_format_frame(
+    db: Database, projid: str, value_names: Sequence[str] | None = None
+) -> DataFrame:
+    """Long-format DataFrame view of :func:`long_format_records`."""
+    records = long_format_records(db, projid, value_names)
+    return from_records([r.as_row() for r in records])
+
+
+def git_view(versioning_repository: Any) -> DataFrame:
+    """Materialize the virtual ``git`` table of Figure 1.
+
+    Columns: ``vid``, ``filename``, ``parent_vid``, ``contents``.  The rows
+    come from the content-addressed version store rather than SQLite, which
+    is what makes the table "virtual" in the paper's data model.
+    """
+    rows: list[dict[str, Any]] = []
+    for commit in versioning_repository.log():
+        parent = commit.parent_vid
+        for filename in sorted(commit.files):
+            rows.append(
+                {
+                    "vid": commit.vid,
+                    "filename": filename,
+                    "parent_vid": parent,
+                    "contents": versioning_repository.read_file(commit.vid, filename),
+                }
+            )
+    return from_records(rows, columns=["vid", "filename", "parent_vid", "contents"])
+
+
+def latest(frame: DataFrame, column: str = "tstamp") -> DataFrame:
+    """Rows belonging to the most recent timestamp present in ``frame``.
+
+    This is ``flor.utils.latest`` from the paper's Figure 6: given a frame
+    spanning several runs, keep only the rows of the latest run.
+    """
+    if frame.empty or column not in frame:
+        return frame
+    maximum = frame[column].max()
+    if maximum is None:
+        return frame
+    return frame[frame[column] == maximum]
+
+
+def distinct_versions(db: Database, projid: str) -> list[str]:
+    """All version ids recorded for a project, oldest first."""
+    return [record.vid for record in Ts2VidRepository(db).all(projid)]

@@ -1,0 +1,155 @@
+"""Typed row objects for the relational data model.
+
+Each dataclass mirrors one physical table from Figure 1.  Values logged via
+``flor.log`` are serialized to text together with a small type tag
+(``value_type``) so that the original Python type is restored when the value
+is read back into a dataframe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: value_type tags used in the ``logs`` table.
+VALUE_TYPE_STR = 0
+VALUE_TYPE_INT = 1
+VALUE_TYPE_FLOAT = 2
+VALUE_TYPE_BOOL = 3
+VALUE_TYPE_JSON = 4
+VALUE_TYPE_NONE = 5
+
+
+def encode_value(value: Any) -> tuple[str | None, int]:
+    """Serialize a logged value to ``(text, value_type)``.
+
+    Scalars keep their type tag; anything else is stored as JSON when
+    possible and as ``repr`` text otherwise.
+    """
+    if value is None:
+        return None, VALUE_TYPE_NONE
+    if isinstance(value, bool):
+        return ("1" if value else "0"), VALUE_TYPE_BOOL
+    if isinstance(value, int):
+        return str(value), VALUE_TYPE_INT
+    if isinstance(value, float):
+        return repr(value), VALUE_TYPE_FLOAT
+    if isinstance(value, str):
+        return value, VALUE_TYPE_STR
+    try:
+        return json.dumps(value, sort_keys=True, default=str), VALUE_TYPE_JSON
+    except (TypeError, ValueError):
+        return repr(value), VALUE_TYPE_STR
+
+
+def decode_value(text: str | None, value_type: int) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if value_type == VALUE_TYPE_NONE or text is None:
+        return None
+    if value_type == VALUE_TYPE_BOOL:
+        return text == "1"
+    if value_type == VALUE_TYPE_INT:
+        return int(text)
+    if value_type == VALUE_TYPE_FLOAT:
+        return float(text)
+    if value_type == VALUE_TYPE_JSON:
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return text
+    return text
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One row of ``logs``: a single named value emitted by ``flor.log``."""
+
+    projid: str
+    tstamp: str
+    filename: str
+    ctx_id: int
+    value_name: str
+    value: str | None
+    value_type: int = VALUE_TYPE_STR
+
+    def decoded(self) -> Any:
+        return decode_value(self.value, self.value_type)
+
+    @classmethod
+    def create(
+        cls,
+        projid: str,
+        tstamp: str,
+        filename: str,
+        ctx_id: int,
+        value_name: str,
+        value: Any,
+    ) -> "LogRecord":
+        text, value_type = encode_value(value)
+        return cls(projid, tstamp, filename, ctx_id, value_name, text, value_type)
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """One row of ``loops``: a single iteration of a ``flor.loop``."""
+
+    projid: str
+    tstamp: str
+    filename: str
+    ctx_id: int
+    parent_ctx_id: int | None
+    loop_name: str
+    loop_iteration: int
+    iteration_value: str | None
+
+
+@dataclass(frozen=True)
+class Ts2VidRecord:
+    """One row of ``ts2vid``: a timestamp epoch mapped to a version id."""
+
+    projid: str
+    ts_start: str
+    ts_end: str
+    vid: str
+    root_target: str | None = None
+
+
+@dataclass(frozen=True)
+class ObjectRecord:
+    """One row of ``obj_store``: a serialized large object (e.g. checkpoint)."""
+
+    projid: str
+    tstamp: str
+    filename: str
+    ctx_id: int
+    value_name: str
+    contents: bytes = field(repr=False, default=b"")
+
+
+@dataclass(frozen=True)
+class BuildDepRecord:
+    """One row of ``build_deps``: a build target captured at a version."""
+
+    vid: str
+    target: str
+    deps: tuple[str, ...] = ()
+    cmds: tuple[str, ...] = ()
+    cached: bool = False
+
+    def deps_json(self) -> str:
+        return json.dumps(list(self.deps))
+
+    def cmds_json(self) -> str:
+        return json.dumps(list(self.cmds))
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "BuildDepRecord":
+        vid, target, deps, cmds, cached = row
+        return cls(
+            vid=vid,
+            target=target,
+            deps=tuple(json.loads(deps)),
+            cmds=tuple(json.loads(cmds)),
+            cached=bool(cached),
+        )

@@ -1,0 +1,109 @@
+"""DDL for the FlorDB relational data model.
+
+The schema follows Figure 1 of the paper.  Columns keep the paper's names so
+that queries written against the paper translate directly.  Log and loop rows
+are append-only; the only mutable table is ``build_deps.cached``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from ..errors import SchemaError
+
+SCHEMA_VERSION = 1
+
+#: Physical tables in creation order (white boxes of Figure 1).
+TABLES = ("meta", "logs", "loops", "ts2vid", "obj_store", "build_deps")
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key             TEXT PRIMARY KEY,
+    value           TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS logs (
+    projid          TEXT NOT NULL,
+    tstamp          TEXT NOT NULL,
+    filename        TEXT NOT NULL,
+    ctx_id          INTEGER NOT NULL,
+    value_name      TEXT NOT NULL,
+    value           TEXT,
+    value_type      INTEGER NOT NULL DEFAULT 0,
+    seq             INTEGER PRIMARY KEY AUTOINCREMENT
+);
+CREATE INDEX IF NOT EXISTS idx_logs_name ON logs (projid, value_name);
+CREATE INDEX IF NOT EXISTS idx_logs_ctx ON logs (projid, tstamp, filename, ctx_id);
+
+CREATE TABLE IF NOT EXISTS loops (
+    projid          TEXT NOT NULL,
+    tstamp          TEXT NOT NULL,
+    filename        TEXT NOT NULL,
+    ctx_id          INTEGER NOT NULL,
+    parent_ctx_id   INTEGER,
+    loop_name       TEXT NOT NULL,
+    loop_iteration  INTEGER NOT NULL,
+    iteration_value TEXT,
+    PRIMARY KEY (projid, tstamp, filename, ctx_id)
+);
+CREATE INDEX IF NOT EXISTS idx_loops_parent ON loops (projid, tstamp, filename, parent_ctx_id);
+
+CREATE TABLE IF NOT EXISTS ts2vid (
+    projid          TEXT NOT NULL,
+    ts_start        TEXT NOT NULL,
+    ts_end          TEXT NOT NULL,
+    vid             TEXT NOT NULL,
+    root_target     TEXT,
+    PRIMARY KEY (projid, ts_start)
+);
+CREATE INDEX IF NOT EXISTS idx_ts2vid_vid ON ts2vid (vid);
+
+CREATE TABLE IF NOT EXISTS obj_store (
+    projid          TEXT NOT NULL,
+    tstamp          TEXT NOT NULL,
+    filename        TEXT NOT NULL,
+    ctx_id          INTEGER NOT NULL,
+    value_name      TEXT NOT NULL,
+    contents        BLOB,
+    PRIMARY KEY (projid, tstamp, filename, ctx_id, value_name)
+);
+
+CREATE TABLE IF NOT EXISTS build_deps (
+    vid             TEXT NOT NULL,
+    target          TEXT NOT NULL,
+    deps            TEXT NOT NULL DEFAULT '[]',
+    cmds            TEXT NOT NULL DEFAULT '[]',
+    cached          INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (vid, target)
+);
+"""
+
+
+def create_schema(connection: sqlite3.Connection) -> None:
+    """Create all tables and indexes if they do not already exist.
+
+    Raises :class:`SchemaError` if the database was written by an
+    incompatible library version.
+    """
+    connection.executescript(_DDL)
+    row = connection.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+    if row is None:
+        connection.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        connection.commit()
+        return
+    found = int(row[0])
+    if found != SCHEMA_VERSION:
+        raise SchemaError(
+            f"database schema version {found} is incompatible with library version {SCHEMA_VERSION}"
+        )
+
+
+def table_columns(connection: sqlite3.Connection, table: str) -> list[str]:
+    """Return the column names of ``table`` in declaration order."""
+    if table not in TABLES:
+        raise SchemaError(f"unknown table: {table!r}")
+    rows = connection.execute(f"PRAGMA table_info({table})").fetchall()
+    return [row[1] for row in rows]

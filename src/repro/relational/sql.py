@@ -1,0 +1,119 @@
+"""SQL access to FlorDB context ("queried via Pandas or SQL", §1.2).
+
+Two complementary surfaces:
+
+* :func:`run_sql` — run a read-only SQL statement directly against the
+  physical tables (``logs``, ``loops``, ``ts2vid``, ``obj_store``,
+  ``build_deps``) and get a mini DataFrame back.
+* :func:`register_pivot_view` / :func:`sql_over_names` — materialize the
+  pivoted view of chosen log names as a temporary table named ``pivot`` so
+  that run-level questions ("which run had the best recall?") are one
+  ``SELECT`` away, mirroring how the paper positions the relational model.
+
+Only statements that begin with ``SELECT`` or ``WITH`` are accepted; the
+context store is append-only from the query surface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+from ..dataframe import DataFrame, from_records
+from ..errors import DatabaseError
+from .database import Database
+
+_READ_ONLY_RE = re.compile(r"^\s*(SELECT|WITH)\b", re.IGNORECASE)
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _require_read_only(sql: str) -> None:
+    if not _READ_ONLY_RE.match(sql):
+        raise DatabaseError("only SELECT/WITH statements may be run against the context store")
+
+
+def run_sql(db: Database, sql: str, params: Sequence[Any] = ()) -> DataFrame:
+    """Run a read-only SQL statement and return the result as a DataFrame."""
+    _require_read_only(sql)
+    with db.transaction() as connection:
+        cursor = connection.execute(sql, tuple(params))
+        columns = [description[0] for description in cursor.description or []]
+        rows = cursor.fetchall()
+    return from_records((dict(zip(columns, row)) for row in rows), columns=columns)
+
+
+def _quote_identifier(name: str) -> str:
+    """Validate and quote a column name derived from a log value name."""
+    if not _IDENTIFIER_RE.match(name):
+        raise DatabaseError(
+            f"log name {name!r} cannot be used as a SQL column; "
+            "use letters, digits and underscores"
+        )
+    return f'"{name}"'
+
+
+def register_pivot_view(
+    db: Database,
+    projid: str,
+    names: Sequence[str],
+    table_name: str = "pivot",
+) -> list[str]:
+    """Materialize the pivoted view of ``names`` into a temporary table.
+
+    Returns the column names of the created table.  The table lives in the
+    connection's temp schema, so it never dirties the durable database and
+    is rebuilt on demand (the pivot is cheap relative to replay).
+    """
+    from ..core.dataframe_view import build_dataframe
+
+    if not _IDENTIFIER_RE.match(table_name):
+        raise DatabaseError(f"invalid table name: {table_name!r}")
+    frame = build_dataframe(db, projid, list(names))
+    columns = frame.columns or ["projid", "tstamp", "filename", *names]
+    quoted = [_quote_identifier(c) for c in columns]
+    with db.transaction() as connection:
+        connection.execute(f"DROP TABLE IF EXISTS temp.{table_name}")
+        # NUMERIC affinity lets SQLite treat numeric-looking log values as
+        # numbers (so MAX(recall) compares 0.9 > 0.85, not lexicographically).
+        connection.execute(
+            f"CREATE TEMP TABLE {table_name} ({', '.join(f'{c} NUMERIC' for c in quoted)})"
+        )
+        if len(frame):
+            placeholders = ", ".join("?" for _ in columns)
+            connection.executemany(
+                f"INSERT INTO {table_name} ({', '.join(quoted)}) VALUES ({placeholders})",
+                [
+                    tuple(_sqlite_value(row.get(c)) for c in columns)
+                    for row in frame.to_records()
+                ],
+            )
+    return columns
+
+
+def _sqlite_value(value: Any) -> Any:
+    """Coerce a pivoted cell to something SQLite can bind (scalars pass through)."""
+    if value is None or isinstance(value, (int, float, str, bytes)):
+        return value
+    if isinstance(value, bool):  # pragma: no cover - bool is an int subclass
+        return int(value)
+    return str(value)
+
+
+def sql_over_names(
+    db: Database,
+    projid: str,
+    names: Sequence[str],
+    sql: str,
+    params: Sequence[Any] = (),
+    table_name: str = "pivot",
+) -> DataFrame:
+    """Materialize the pivoted view of ``names`` and run ``sql`` against it.
+
+    The statement refers to the view by ``table_name`` (default ``pivot``)::
+
+        sql_over_names(db, "proj", ["acc", "recall"],
+                       "SELECT tstamp, MAX(recall) AS best FROM pivot GROUP BY tstamp")
+    """
+    _require_read_only(sql)
+    register_pivot_view(db, projid, names, table_name)
+    return run_sql(db, sql, params)

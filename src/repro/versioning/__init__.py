@@ -1,0 +1,27 @@
+"""Content-addressed version store (the paper's git substrate).
+
+FlorDB relies on git for "change context": every ``flor.commit()`` snapshots
+the tracked source files into an immutable version identified by a ``vid``.
+This package provides that capability without shelling out to git:
+
+* :mod:`objects` — a content-addressed blob store on disk,
+* :mod:`diff` — a from-scratch Myers line diff with patch application,
+* :mod:`repository` — commits, history traversal and file checkout.
+"""
+
+from .diff import DiffOp, Patch, diff_lines, diff_stats, matching_lines, unified_diff
+from .objects import ObjectStore, hash_bytes
+from .repository import Commit, Repository
+
+__all__ = [
+    "ObjectStore",
+    "hash_bytes",
+    "DiffOp",
+    "Patch",
+    "diff_lines",
+    "diff_stats",
+    "matching_lines",
+    "unified_diff",
+    "Commit",
+    "Repository",
+]

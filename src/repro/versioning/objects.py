@@ -1,0 +1,78 @@
+"""Content-addressed blob storage.
+
+Objects are addressed by the SHA-256 of their contents and stored under
+``<objects_dir>/<first two hex chars>/<rest>``, the same fan-out layout git
+uses.  Writing is idempotent: storing identical contents twice costs one hash
+computation and no extra disk space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import ObjectNotFoundError
+
+
+def hash_bytes(data: bytes) -> str:
+    """Stable content address (SHA-256 hex digest) for a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ObjectStore:
+    """A write-once, content-addressed object store rooted at a directory."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, object_id: str) -> Path:
+        if len(object_id) < 3 or not all(c in "0123456789abcdef" for c in object_id):
+            raise ObjectNotFoundError(f"malformed object id: {object_id!r}")
+        return self.root / object_id[:2] / object_id[2:]
+
+    def put(self, data: bytes) -> str:
+        """Store ``data`` and return its object id (idempotent)."""
+        object_id = hash_bytes(data)
+        path = self._path_for(object_id)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(data)
+            tmp.replace(path)
+        return object_id
+
+    def put_text(self, text: str) -> str:
+        return self.put(text.encode("utf-8"))
+
+    def get(self, object_id: str) -> bytes:
+        path = self._path_for(object_id)
+        if not path.exists():
+            raise ObjectNotFoundError(f"object {object_id} not found in {self.root}")
+        return path.read_bytes()
+
+    def get_text(self, object_id: str) -> str:
+        return self.get(object_id).decode("utf-8")
+
+    def exists(self, object_id: str) -> bool:
+        try:
+            return self._path_for(object_id).exists()
+        except ObjectNotFoundError:
+            return False
+
+    def __contains__(self, object_id: str) -> bool:
+        return self.exists(object_id)
+
+    def ids(self) -> Iterator[str]:
+        """Iterate over every object id currently stored."""
+        for prefix_dir in sorted(self.root.iterdir()):
+            if not prefix_dir.is_dir():
+                continue
+            for obj in sorted(prefix_dir.iterdir()):
+                if obj.suffix == ".tmp":
+                    continue
+                yield prefix_dir.name + obj.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.ids())

@@ -1,0 +1,221 @@
+"""Commits and history on top of the content-addressed object store.
+
+A :class:`Repository` tracks a set of files under a working directory.
+``commit()`` snapshots their current contents into the object store and
+appends an immutable :class:`Commit` to a linear history (FlorDB only ever
+commits to the tip, so branching is intentionally out of scope).  Commit
+metadata is kept in a JSON journal file next to the object store so the
+repository is self-contained and inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import CommitNotFoundError, VersioningError
+from .diff import diff_stats, unified_diff
+from .objects import ObjectStore, hash_bytes
+
+
+@dataclass(frozen=True)
+class Commit:
+    """An immutable snapshot of tracked files.
+
+    ``files`` maps relative file path to the object id of its contents at
+    commit time.  ``vid`` is derived from the file manifest plus parent, so
+    identical content always yields the same version id (and committing with
+    no changes is detected cheaply).
+    """
+
+    vid: str
+    parent_vid: str | None
+    tstamp: str
+    message: str
+    files: Mapping[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "vid": self.vid,
+            "parent_vid": self.parent_vid,
+            "tstamp": self.tstamp,
+            "message": self.message,
+            "files": dict(self.files),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Commit":
+        return cls(
+            vid=data["vid"],
+            parent_vid=data.get("parent_vid"),
+            tstamp=data["tstamp"],
+            message=data.get("message", ""),
+            files=dict(data.get("files", {})),
+        )
+
+
+def _manifest_vid(files: Mapping[str, str], parent_vid: str | None) -> str:
+    payload = json.dumps({"files": dict(sorted(files.items())), "parent": parent_vid}, sort_keys=True)
+    return hash_bytes(payload.encode("utf-8"))[:16]
+
+
+class Repository:
+    """Linear version history over a set of tracked files."""
+
+    JOURNAL_NAME = "commits.json"
+
+    def __init__(self, objects_dir: Path | str, working_dir: Path | str):
+        self.store = ObjectStore(objects_dir)
+        self.working_dir = Path(working_dir)
+        self._journal_path = Path(objects_dir) / self.JOURNAL_NAME
+        self._commits: list[Commit] = []
+        self._tracked: set[str] = set()
+        self._load_journal()
+
+    # ------------------------------------------------------------- journal
+    def _load_journal(self) -> None:
+        if not self._journal_path.exists():
+            return
+        try:
+            data = json.loads(self._journal_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise VersioningError(f"corrupt commit journal at {self._journal_path}") from exc
+        self._commits = [Commit.from_json(entry) for entry in data.get("commits", [])]
+        self._tracked = set(data.get("tracked", []))
+
+    def _save_journal(self) -> None:
+        payload = {
+            "commits": [c.to_json() for c in self._commits],
+            "tracked": sorted(self._tracked),
+        }
+        self._journal_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._journal_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.replace(self._journal_path)
+
+    # -------------------------------------------------------------- tracking
+    def track(self, *paths: str | Path) -> None:
+        """Add files (relative to the working directory) to the tracked set."""
+        for path in paths:
+            rel = str(Path(path))
+            self._tracked.add(rel)
+        self._save_journal()
+
+    def untrack(self, *paths: str | Path) -> None:
+        for path in paths:
+            self._tracked.discard(str(Path(path)))
+        self._save_journal()
+
+    @property
+    def tracked(self) -> list[str]:
+        return sorted(self._tracked)
+
+    def _snapshot_files(self) -> dict[str, str]:
+        manifest: dict[str, str] = {}
+        for rel in sorted(self._tracked):
+            path = self.working_dir / rel
+            if not path.exists():
+                continue
+            manifest[rel] = self.store.put(path.read_bytes())
+        return manifest
+
+    # --------------------------------------------------------------- commits
+    def commit(self, message: str = "", tstamp: str | None = None) -> Commit:
+        """Snapshot tracked files and append a commit; returns the new commit.
+
+        Committing an unchanged manifest returns the existing head commit
+        instead of creating an empty commit — several FlorDB epochs can
+        therefore map to the same version id, exactly like re-running a
+        pipeline without touching the code.
+        """
+        files = self._snapshot_files()
+        parent = self._commits[-1] if self._commits else None
+        parent_vid = parent.vid if parent else None
+        if parent is not None and dict(parent.files) == files:
+            return parent
+        vid = _manifest_vid(files, parent_vid)
+        commit = Commit(
+            vid=vid,
+            parent_vid=parent_vid,
+            tstamp=tstamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
+            message=message,
+            files=files,
+        )
+        self._commits.append(commit)
+        self._save_journal()
+        return commit
+
+    def log(self) -> list[Commit]:
+        """All commits, oldest first."""
+        return list(self._commits)
+
+    def head(self) -> Commit | None:
+        return self._commits[-1] if self._commits else None
+
+    def get(self, vid: str) -> Commit:
+        for commit in self._commits:
+            if commit.vid == vid:
+                return commit
+        raise CommitNotFoundError(f"no commit with vid {vid!r}")
+
+    def __contains__(self, vid: str) -> bool:
+        return any(c.vid == vid for c in self._commits)
+
+    def __len__(self) -> int:
+        return len(self._commits)
+
+    # ----------------------------------------------------------- file access
+    def read_file(self, vid: str, filename: str) -> str:
+        """Contents of ``filename`` as of version ``vid``."""
+        commit = self.get(vid)
+        if filename not in commit.files:
+            raise VersioningError(f"file {filename!r} is not part of version {vid}")
+        return self.store.get_text(commit.files[filename])
+
+    def file_exists(self, vid: str, filename: str) -> bool:
+        try:
+            commit = self.get(vid)
+        except CommitNotFoundError:
+            return False
+        return filename in commit.files
+
+    def checkout(self, vid: str, destination: Path | str) -> list[str]:
+        """Materialize every file of version ``vid`` under ``destination``."""
+        commit = self.get(vid)
+        destination = Path(destination)
+        written: list[str] = []
+        for filename, object_id in commit.files.items():
+            target = destination / filename
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(self.store.get(object_id))
+            written.append(filename)
+        return sorted(written)
+
+    # ------------------------------------------------------------------ diff
+    def diff(self, old_vid: str, new_vid: str, filename: str) -> str:
+        """Unified diff of one file between two versions."""
+        old = self.read_file(old_vid, filename).splitlines() if self.file_exists(old_vid, filename) else []
+        new = self.read_file(new_vid, filename).splitlines() if self.file_exists(new_vid, filename) else []
+        return unified_diff(old, new, f"{filename}@{old_vid}", f"{filename}@{new_vid}")
+
+    def change_summary(self, old_vid: str, new_vid: str) -> dict[str, dict[str, int]]:
+        """Per-file added/deleted/unchanged line counts between two versions."""
+        old_commit = self.get(old_vid)
+        new_commit = self.get(new_vid)
+        summary: dict[str, dict[str, int]] = {}
+        for filename in sorted(set(old_commit.files) | set(new_commit.files)):
+            old_lines = (
+                self.store.get_text(old_commit.files[filename]).splitlines()
+                if filename in old_commit.files
+                else []
+            )
+            new_lines = (
+                self.store.get_text(new_commit.files[filename]).splitlines()
+                if filename in new_commit.files
+                else []
+            )
+            summary[filename] = diff_stats(old_lines, new_lines)
+        return summary

@@ -1,0 +1,25 @@
+"""Minimal web framework + the PDF-parser feedback application (§4.4).
+
+Flask is deliberately not a dependency: :mod:`framework` implements the
+little that the demo needs — route registration with path parameters, JSON
+request/response objects and an in-process test client — and
+:mod:`pdf_app` builds the paper's three routes (``/``, ``/view-pdf``,
+``/save_colors``) on top of it, wiring expert feedback into FlorDB through
+``flor.iteration`` / ``flor.loop`` / ``flor.log`` / ``flor.commit`` exactly
+as in Figure 6.
+"""
+
+from .framework import HttpError, JsonResponse, Request, Response, Router, TestClient, WebApp
+from .pdf_app import PdfParserApp, create_app
+
+__all__ = [
+    "WebApp",
+    "Router",
+    "Request",
+    "Response",
+    "JsonResponse",
+    "HttpError",
+    "TestClient",
+    "PdfParserApp",
+    "create_app",
+]

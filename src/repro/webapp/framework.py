@@ -1,0 +1,206 @@
+"""A minimal in-process web framework (Flask substitute).
+
+Provides exactly the surface the feedback application needs:
+
+* :class:`Router` / :class:`WebApp` — decorator-based route registration
+  with ``<param>`` path segments and per-method dispatch,
+* :class:`Request` / :class:`Response` / :class:`JsonResponse` — typed
+  request/response objects with JSON helpers,
+* :class:`TestClient` — drives the app without sockets, which keeps the
+  examples, tests and benchmarks hermetic and fast.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import RouteNotFoundError, WebAppError
+
+
+@dataclass
+class Request:
+    """An HTTP-like request delivered to a handler."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    def get_json(self) -> Any:
+        """Parse the body as JSON (empty body yields an empty dict)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise WebAppError(f"request body is not valid JSON: {exc}") from exc
+
+    def arg(self, name: str, default: str | None = None) -> str | None:
+        return self.query.get(name, default)
+
+
+@dataclass
+class Response:
+    """An HTTP-like response returned by a handler."""
+
+    body: str = ""
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=lambda: {"Content-Type": "text/html"})
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class JsonResponse(Response):
+    """Response whose body is JSON-encoded from a Python object."""
+
+    def __init__(self, payload: Any, status: int = 200):
+        super().__init__(
+            body=json.dumps(payload),
+            status=status,
+            headers={"Content-Type": "application/json"},
+        )
+
+
+class HttpError(WebAppError):
+    """Raise inside a handler to produce a non-200 response."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class _Route:
+    method: str
+    segments: tuple[str, ...]
+    handler: Callable[..., Any]
+
+    def match(self, method: str, path_segments: tuple[str, ...]) -> dict[str, str] | None:
+        if method != self.method or len(path_segments) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for pattern, actual in zip(self.segments, path_segments):
+            if pattern.startswith("<") and pattern.endswith(">"):
+                params[pattern[1:-1]] = actual
+            elif pattern != actual:
+                return None
+        return params
+
+
+def _split_path(path: str) -> tuple[str, ...]:
+    return tuple(segment for segment in path.strip("/").split("/") if segment) or ("",)
+
+
+class Router:
+    """Registers routes and dispatches requests to handlers."""
+
+    def __init__(self) -> None:
+        self._routes: list[_Route] = []
+
+    def add(self, path: str, handler: Callable[..., Any], methods: tuple[str, ...] = ("GET",)) -> None:
+        for method in methods:
+            self._routes.append(_Route(method.upper(), _split_path(path), handler))
+
+    def resolve(self, method: str, path: str) -> tuple[Callable[..., Any], dict[str, str]]:
+        segments = _split_path(path)
+        for route in self._routes:
+            params = route.match(method.upper(), segments)
+            if params is not None:
+                return route.handler, params
+        raise RouteNotFoundError(path, method)
+
+    def routes(self) -> list[tuple[str, str]]:
+        return sorted({(r.method, "/" + "/".join(r.segments).strip("/")) for r in self._routes})
+
+
+class WebApp:
+    """A small application object with Flask-like ``route`` decorators."""
+
+    def __init__(self, name: str = "app"):
+        self.name = name
+        self.router = Router()
+        self.templates: dict[str, str] = {}
+
+    # ----------------------------------------------------------- registration
+    def route(self, path: str, methods: tuple[str, ...] = ("GET",)):
+        def decorator(handler: Callable[..., Any]) -> Callable[..., Any]:
+            self.router.add(path, handler, methods)
+            return handler
+
+        return decorator
+
+    def register_template(self, name: str, content: str) -> None:
+        self.templates[name] = content
+
+    def render_template(self, template_name: str, **context: Any) -> str:
+        """Very small ``{{ placeholder }}`` substitution renderer."""
+        if template_name not in self.templates:
+            raise WebAppError(f"unknown template {template_name!r}")
+        rendered = self.templates[template_name]
+        for key, value in context.items():
+            rendered = rendered.replace("{{ " + key + " }}", str(value))
+            rendered = rendered.replace("{{" + key + "}}", str(value))
+        return rendered
+
+    # -------------------------------------------------------------- dispatch
+    def handle(self, request: Request) -> Response:
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+        except RouteNotFoundError as exc:
+            return JsonResponse({"error": str(exc)}, status=404)
+        request.path_params = params
+        try:
+            result = handler(request, **params) if params else handler(request)
+        except HttpError as exc:
+            return JsonResponse({"error": str(exc)}, status=exc.status)
+        return self._normalize(result)
+
+    @staticmethod
+    def _normalize(result: Any) -> Response:
+        if isinstance(result, Response):
+            return result
+        if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
+            payload, status = result
+            if isinstance(payload, Response):
+                payload.status = status
+                return payload
+            if isinstance(payload, str):
+                return Response(body=payload, status=status)
+            return JsonResponse(payload, status=status)
+        if isinstance(result, str):
+            return Response(body=result)
+        return JsonResponse(result)
+
+
+class TestClient:
+    """Drive a :class:`WebApp` in-process (no sockets, no threads)."""
+
+    #: Not a pytest test class despite the name (same convention Flask uses).
+    __test__ = False
+
+    def __init__(self, app: WebApp):
+        self.app = app
+
+    def _request(self, method: str, url: str, json_body: Any = None, body: bytes = b"") -> Response:
+        parts = urlsplit(url)
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        request = Request(method=method.upper(), path=parts.path or "/", query=query, body=body)
+        return self.app.handle(request)
+
+    def get(self, url: str) -> Response:
+        return self._request("GET", url)
+
+    def post(self, url: str, json_body: Any = None, body: bytes = b"") -> Response:
+        return self._request("POST", url, json_body=json_body, body=body)

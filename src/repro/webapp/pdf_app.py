@@ -1,0 +1,155 @@
+"""The PDF-parser feedback application (Figure 6 of the paper).
+
+Three routes mirror the paper's Flask app:
+
+* ``/``             — home page listing the corpus documents,
+* ``/view-pdf``     — per-document view showing pages with their current
+  "page colors" (the demo's visual grouping of pages into logical documents),
+* ``/save_colors``  — POST endpoint where a domain expert submits corrected
+  colors; the handler records them with ``iteration``/``loop``/``log`` and
+  commits, so the human feedback carries the same provenance as pipeline
+  output.
+
+``get_colors`` reproduces the figure's fallback logic: read the latest
+``first_page`` / ``page_color`` view, and when no expert colors exist yet,
+derive colors from the cumulative sum of the first-page flags.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.session import Session
+from ..docs.corpus import DocumentCorpus
+from ..errors import WebAppError
+from ..relational.queries import latest
+from .framework import HttpError, JsonResponse, Request, TestClient, WebApp
+
+#: Filename stamped on records produced by the web application.
+APP_FILENAME = "app.py"
+
+_INDEX_TEMPLATE = """<html><body>
+<h1>PDF Parser</h1>
+<ul>
+{{ items }}
+</ul>
+</body></html>"""
+
+_VIEW_TEMPLATE = """<html><body>
+<h1>{{ name }}</h1>
+<p>{{ pages }} pages</p>
+<ol>
+{{ rows }}
+</ol>
+</body></html>"""
+
+
+class PdfParserApp:
+    """Application object bundling the web app, the corpus and the session."""
+
+    def __init__(self, session: Session, corpus: DocumentCorpus):
+        self.session = session
+        self.corpus = corpus
+        self.web = WebApp("pdf_parser")
+        self.web.register_template("index.html", _INDEX_TEMPLATE)
+        self.web.register_template("view.html", _VIEW_TEMPLATE)
+        self._register_routes()
+
+    # ------------------------------------------------------------------ data
+    @property
+    def pdf_names(self) -> list[str]:
+        return self.corpus.document_names()
+
+    def get_colors(self, pdf_name: str) -> list[int]:
+        """Current page colors for a document (expert labels or derived).
+
+        Mirrors ``get_colors`` in Figure 6: query the pivoted
+        ``first_page``/``page_color`` view restricted to the document, keep
+        the latest run, and when any page color is missing derive colors by
+        cumulatively numbering first-page flags.
+        """
+        if pdf_name not in self.pdf_names:
+            raise WebAppError(f"unknown document {pdf_name!r}")
+        infer = self.session.dataframe("first_page", "page_color")
+        if infer.empty or "document_value" not in infer:
+            return self._derived_colors(pdf_name)
+        infer = infer[infer.document_value == pdf_name]
+        if infer.empty:
+            return self._derived_colors(pdf_name)
+        infer = latest(infer)
+        if "page" in infer:
+            infer = infer.sort_values("page")
+        if "page_color" not in infer or infer.page_color.isna().any():
+            if "first_page" in infer and not infer.first_page.isna().all():
+                color = infer["first_page"].fillna(0).astype(int).cumsum()
+                infer["page_color"] = (color - 1).to_list()
+            else:
+                return self._derived_colors(pdf_name)
+        return [int(c) for c in infer["page_color"].fillna(0).to_list()]
+
+    def _derived_colors(self, pdf_name: str) -> list[int]:
+        """Colors derived from document structure when nothing was logged yet."""
+        document = self.corpus.get(pdf_name)
+        colors: list[int] = []
+        color = -1
+        for page in document.pages:
+            if page.is_first_page or page.heading is not None:
+                color += 1
+            colors.append(max(color, 0))
+        return colors
+
+    def save_colors(self, pdf_name: str, colors: list[int]) -> int:
+        """Record expert-corrected colors (the body of ``/save_colors``)."""
+        if pdf_name not in self.pdf_names:
+            raise WebAppError(f"unknown document {pdf_name!r}")
+        with self.session.iteration("document", None, pdf_name, filename=APP_FILENAME):
+            for i in self.session.loop("page", range(len(colors)), filename=APP_FILENAME):
+                self.session.log("page_color", int(colors[i]), filename=APP_FILENAME)
+                self.session.log("page_color__source", "human", filename=APP_FILENAME)
+        self.session.commit("expert feedback: page colors")
+        return len(colors)
+
+    # ---------------------------------------------------------------- routes
+    def _register_routes(self) -> None:
+        app = self.web
+
+        @app.route("/")
+        def home(_request: Request) -> str:
+            items = "\n".join(
+                f'<li><a href="/view-pdf?name={name}">{name}</a></li>' for name in self.pdf_names
+            )
+            return app.render_template("index.html", items=items)
+
+        @app.route("/view-pdf")
+        def view_pdf(request: Request) -> str:
+            name = request.arg("name")
+            if not name or name not in self.pdf_names:
+                raise HttpError(404, f"unknown document {name!r}")
+            colors = self.get_colors(name)
+            document = self.corpus.get(name)
+            rows = "\n".join(
+                f"<li>page {page.number}: color {color}</li>"
+                for page, color in zip(document.pages, colors)
+            )
+            return app.render_template("view.html", name=name, pages=len(document), rows=rows)
+
+        @app.route("/save_colors", methods=("POST",))
+        def save_colors(request: Request):
+            payload = request.get_json()
+            colors = payload.get("colors", [])
+            pdf_name = payload.get("pdf_name") or (self.pdf_names[-1] if self.pdf_names else None)
+            if pdf_name is None:
+                raise HttpError(400, "no document to save colors for")
+            if not isinstance(colors, list) or not all(isinstance(c, (int, float)) for c in colors):
+                raise HttpError(400, "colors must be a list of numbers")
+            saved = self.save_colors(pdf_name, [int(c) for c in colors])
+            return JsonResponse({"message": "Colors saved", "count": saved}), 200
+
+    # ----------------------------------------------------------------- client
+    def test_client(self) -> TestClient:
+        return TestClient(self.web)
+
+
+def create_app(session: Session, corpus: DocumentCorpus) -> PdfParserApp:
+    """Factory mirroring the usual Flask ``create_app`` convention."""
+    return PdfParserApp(session, corpus)

@@ -1,0 +1,22 @@
+"""Synthetic workload generators used by the benchmark harness.
+
+Every benchmark in ``benchmarks/`` drives the library through one of these
+generators, so workload parameters (number of versions, epochs, documents,
+log volume) live in one place and the benches stay declarative.
+"""
+
+from .generator import (
+    LoggingWorkload,
+    PipelineWorkload,
+    TrainingWorkload,
+    VersionedScriptWorkload,
+    populate_logs,
+)
+
+__all__ = [
+    "LoggingWorkload",
+    "TrainingWorkload",
+    "VersionedScriptWorkload",
+    "PipelineWorkload",
+    "populate_logs",
+]

@@ -1,0 +1,301 @@
+"""Workload generators for benchmarks and stress tests.
+
+Four workload shapes cover the paper's evaluation surface:
+
+* :class:`LoggingWorkload` — raw log-record volume (dataframe query latency, T5),
+* :class:`TrainingWorkload` — the Figure 5 training loop at configurable scale
+  (record overhead T1, replay speedup T2, checkpoint ablation A1),
+* :class:`VersionedScriptWorkload` — a script evolved over many committed
+  versions with refactorings (propagation T3/A2, parallel replay T4),
+* :class:`PipelineWorkload` — the Make-driven multi-stage pipeline
+  (figures F2/F4, incremental build T6).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import ProjectConfig
+from ..core.session import Session
+from ..relational.records import LogRecord, LoopRecord
+
+
+def populate_logs(
+    session: Session,
+    *,
+    runs: int = 3,
+    loops_per_run: int = 10,
+    values_per_loop: int = 5,
+    filename: str = "train.py",
+) -> int:
+    """Bulk-insert synthetic log records directly (no script execution).
+
+    Returns the number of log rows written.  Used where benchmarks need a
+    large ``logs`` table quickly without paying training costs.
+    """
+    total = 0
+    for run in range(runs):
+        tstamp = f"2025-01-{run + 1:02d}T00:00:00.{run:06d}"
+        loops = []
+        logs = []
+        for i in range(loops_per_run):
+            ctx_id = i + 1
+            loops.append(
+                LoopRecord(
+                    projid=session.projid,
+                    tstamp=tstamp,
+                    filename=filename,
+                    ctx_id=ctx_id,
+                    parent_ctx_id=0,
+                    loop_name="epoch",
+                    loop_iteration=i,
+                    iteration_value=str(i),
+                )
+            )
+            for v in range(values_per_loop):
+                logs.append(
+                    LogRecord.create(
+                        projid=session.projid,
+                        tstamp=tstamp,
+                        filename=filename,
+                        ctx_id=ctx_id,
+                        value_name=f"metric_{v}",
+                        value=run * 0.1 + i + v * 0.01,
+                    )
+                )
+                total += 1
+        session.loops.add_many(loops)
+        session.logs.add_many(logs)
+    return total
+
+
+@dataclass
+class LoggingWorkload:
+    """Pure logging volume: ``runs × loops × values`` log records."""
+
+    runs: int = 3
+    loops_per_run: int = 50
+    values_per_loop: int = 4
+
+    def populate(self, session: Session) -> int:
+        return populate_logs(
+            session,
+            runs=self.runs,
+            loops_per_run=self.loops_per_run,
+            values_per_loop=self.values_per_loop,
+        )
+
+    @property
+    def record_count(self) -> int:
+        return self.runs * self.loops_per_run * self.values_per_loop
+
+
+@dataclass
+class TrainingWorkload:
+    """The Figure 5 training loop at a configurable scale."""
+
+    samples: int = 240
+    features: int = 12
+    classes: int = 3
+    epochs: int = 4
+    batch_size: int = 32
+    hidden: int = 32
+    seed: int = 0
+
+    def datasets(self):
+        from ..ml.dataset import train_test_split
+        from ..ml.train import make_synthetic_classification
+
+        data = make_synthetic_classification(
+            samples=self.samples, features=self.features, classes=self.classes, seed=self.seed
+        )
+        return train_test_split(data, test_fraction=0.25, seed=self.seed)
+
+    def run(self, session: Session, use_flor: bool = True):
+        """Run one instrumented (or baseline) training pass under ``session``."""
+        from ..core.session import active_session
+        from ..ml.train import TrainingConfig, train_classifier
+
+        train_data, test_data = self.datasets()
+        config = TrainingConfig(
+            hidden=self.hidden,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+        with active_session(session):
+            result = train_classifier(train_data, test_data, config, use_flor_args=use_flor)
+            if use_flor:
+                session.commit("training run")
+        return result
+
+
+#: Template for the versioned training script; ``{extra_log}`` is the line the
+#: developer adds in the latest version (and wishes they had added earlier).
+_SCRIPT_TEMPLATE = textwrap.dedent(
+    '''
+    """Synthetic training script, version {version}."""
+    {padding}
+    lr = flor.arg("lr", {lr})
+    state = {{"w": 0.0, "steps": 0}}
+    with flor.checkpointing(state=state):
+        for epoch in flor.loop("epoch", range({epochs})):
+            for step in flor.loop("step", range({steps})):
+                state["w"] += lr / (1 + epoch + step)
+                state["steps"] += 1
+                flor.log("loss", 1.0 / (1.0 + state["w"]))
+    {extra_log}
+
+    def summarize(final_state):
+        # Post-training reporting kept across every revision of the script;
+        # its lines sit below the loop so absolute line numbers in newer
+        # (longer) versions point past the loop body in older versions.
+        return {{"w": final_state["w"], "steps": final_state["steps"]}}
+
+
+    summary = summarize(state)
+    flor.log("final_w", summary["w"])
+    flor.log("total_steps", summary["steps"])
+    '''
+).strip()
+
+
+@dataclass
+class VersionedScriptWorkload:
+    """A script evolved across ``versions`` committed runs.
+
+    Each version shifts hyperparameters and (optionally) refactors the file
+    by adding comment padding, which exercises the propagation engine's
+    anchor matching.  ``hindsight_source`` returns the latest source with a
+    new per-epoch log statement to backfill.
+    """
+
+    versions: int = 4
+    epochs: int = 5
+    steps: int = 4
+    refactor: bool = True
+    filename: str = "train.py"
+
+    def source_for_version(self, version: int) -> str:
+        padding = ""
+        if self.refactor and version > 0:
+            padding = "\n".join(
+                f"# revision note {i}: tuned hyperparameters after review" for i in range(version * 2)
+            ) + "\n"
+        return _SCRIPT_TEMPLATE.format(
+            version=version,
+            padding=padding,
+            lr=0.01 * (version + 1),
+            epochs=self.epochs,
+            steps=self.steps,
+            extra_log="",
+        )
+
+    def hindsight_source(self) -> str:
+        padding = ""
+        if self.refactor and self.versions > 1:
+            padding = "\n".join(
+                f"# revision note {i}: tuned hyperparameters after review"
+                for i in range((self.versions - 1) * 2)
+            ) + "\n"
+        source = _SCRIPT_TEMPLATE.format(
+            version=self.versions - 1,
+            padding=padding,
+            lr=0.01 * self.versions,
+            epochs=self.epochs,
+            steps=self.steps,
+            extra_log="",
+        )
+        # The statement the developer adds after the fact: per-epoch weight.
+        return source.replace(
+            'flor.log("loss", 1.0 / (1.0 + state["w"]))',
+            'flor.log("loss", 1.0 / (1.0 + state["w"]))\n'
+            '            flor.log("weight", state["w"])',
+        )
+
+    def record_all_versions(self, session: Session) -> list[str]:
+        """Execute and commit every version; returns the version ids."""
+        from ..core.api import flor as flor_facade
+        from ..core.session import active_session
+
+        vids = []
+        root = session.config.root
+        session.track(self.filename)
+        for version in range(self.versions):
+            source = self.source_for_version(version)
+            (Path(root) / self.filename).write_text(source)
+            namespace = {"__name__": "__main__", "__file__": self.filename, "flor": flor_facade}
+            with active_session(session):
+                exec(compile(source, self.filename, "exec"), namespace)  # noqa: S102
+                vid = session.commit(f"version {version}")
+            vids.append(vid)
+        return vids
+
+
+_PIPELINE_MAKEFILE = textwrap.dedent(
+    """
+    process_pdfs: pdf_demux.py
+    \t@python pdf_demux.py
+    \t@touch process_pdfs
+
+    featurize: process_pdfs featurize.py
+    \t@python featurize.py
+    \t@touch featurize
+
+    train: featurize train.py
+    \t@python train.py
+    \t@touch train
+
+    infer: train infer.py
+    \t@python infer.py
+    \t@touch infer
+
+    run: featurize infer
+    \t@echo "Starting app..."
+    """
+).strip()
+
+
+@dataclass
+class PipelineWorkload:
+    """The demo pipeline as a Makefile plus Python callables per stage."""
+
+    documents: int = 4
+    max_pages: int = 6
+    epochs: int = 2
+    seed: int = 0
+
+    def makefile_text(self) -> str:
+        return _PIPELINE_MAKEFILE
+
+    def build_executor(self, session: Session, workdir: Path | str):
+        """An executor whose targets are bound to in-process pipeline stages."""
+        from ..build.executor import BuildExecutor, CallableRunner
+        from ..build.makefile import parse_makefile
+        from ..pipeline import PdfPipeline
+
+        pipeline = PdfPipeline(
+            session,
+            documents=self.documents,
+            max_pages=self.max_pages,
+            epochs=self.epochs,
+            seed=self.seed,
+        )
+        runner = CallableRunner(
+            {
+                "process_pdfs": pipeline.process_pdfs,
+                "featurize": pipeline.featurize,
+                "train": pipeline.train,
+                "infer": pipeline.infer,
+                "run": pipeline.serve,
+            }
+        )
+        executor = BuildExecutor(
+            parse_makefile(self.makefile_text()),
+            workdir=workdir,
+            runner=runner,
+            session=session,
+        )
+        return executor, pipeline

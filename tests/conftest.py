@@ -1,0 +1,54 @@
+"""Shared fixtures: hermetic FlorDB projects rooted in pytest tmp dirs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ProjectConfig, Session
+from repro.relational.database import Database
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """A fresh project configuration rooted in a temporary directory."""
+    return ProjectConfig(tmp_path / "proj", "testproj").ensure_layout()
+
+
+@pytest.fixture()
+def session(project):
+    """A record-mode session with a fixed filename for deterministic stamping."""
+    session = Session(project, default_filename="train.py")
+    yield session
+    session.close()
+
+
+@pytest.fixture()
+def free_session(project):
+    """A record-mode session that infers filenames from the caller."""
+    session = Session(project)
+    yield session
+    session.close()
+
+
+@pytest.fixture()
+def db():
+    """An in-memory database with the FlorDB schema."""
+    database = Database(":memory:")
+    yield database
+    database.close()
+
+
+@pytest.fixture()
+def make_session(tmp_path):
+    """Factory for additional sessions in isolated project roots."""
+    created = []
+
+    def factory(name: str = "proj", **kwargs) -> Session:
+        config = ProjectConfig(tmp_path / name, name)
+        session = Session(config, **kwargs)
+        created.append(session)
+        return session
+
+    yield factory
+    for session in created:
+        session.close()

@@ -1,0 +1,101 @@
+"""Tests for context bookkeeping and timestamp generation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.context import (
+    TOP_LEVEL_CTX,
+    ContextState,
+    TimestampGenerator,
+    stringify_iteration_value,
+)
+
+
+class TestTimestampGenerator:
+    def test_strictly_increasing(self):
+        generator = TimestampGenerator()
+        stamps = [generator.next() for _ in range(200)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_iso_like_format(self):
+        stamp = TimestampGenerator().next()
+        assert "T" in stamp and "." in stamp
+        assert len(stamp.split(".")[-1]) == 6
+
+    def test_thread_safety_produces_unique_stamps(self):
+        generator = TimestampGenerator()
+        results: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                stamp = generator.next()
+                with lock:
+                    results.append(stamp)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == len(results)
+
+
+class TestContextState:
+    def test_top_level_context(self):
+        ctx = ContextState("train.py")
+        assert ctx.current_ctx_id == TOP_LEVEL_CTX
+        assert ctx.depth == 0
+        assert ctx.loop_path() == ()
+
+    def test_ctx_id_allocation_is_sequential(self):
+        ctx = ContextState("train.py")
+        assert [ctx.allocate_ctx_id() for _ in range(3)] == [1, 2, 3]
+
+    def test_reserve_ctx_id_advances_counter(self):
+        ctx = ContextState("train.py")
+        ctx.reserve_ctx_id(10)
+        assert ctx.allocate_ctx_id() == 11
+
+    def test_nested_loop_frames(self):
+        ctx = ContextState("train.py")
+        outer = ctx.push_loop("epoch")
+        outer.ctx_id = ctx.allocate_ctx_id()
+        outer.iteration = 0
+        inner = ctx.push_loop("step")
+        assert inner.parent_ctx_id == outer.ctx_id
+        assert ctx.depth == 2
+        assert ctx.loop_path() == (("epoch", 0), ("step", -1))
+        ctx.pop_loop(inner)
+        ctx.pop_loop(outer)
+        assert ctx.depth == 0
+
+    def test_pop_unwinds_abandoned_frames(self):
+        ctx = ContextState("train.py")
+        outer = ctx.push_loop("epoch")
+        ctx.push_loop("step")  # abandoned inner frame (generator never closed)
+        ctx.pop_loop(outer)
+        assert ctx.depth == 0
+
+    def test_pop_unknown_frame_is_safe(self):
+        ctx = ContextState("train.py")
+        frame = ctx.push_loop("epoch")
+        ctx.pop_loop(frame)
+        ctx.pop_loop(frame)  # double pop must not raise
+        assert ctx.depth == 0
+
+
+class TestStringify:
+    def test_none_passthrough(self):
+        assert stringify_iteration_value(None) is None
+
+    def test_truncates_long_values(self):
+        text = stringify_iteration_value("x" * 1000, limit=64)
+        assert len(text) == 64
+        assert text.endswith("...")
+
+    def test_plain_values(self):
+        assert stringify_iteration_value(7) == "7"
+        assert stringify_iteration_value("doc.pdf") == "doc.pdf"

@@ -1,0 +1,164 @@
+"""Tests for cross-version log-statement propagation."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.core.propagation import (
+    find_flor_statements,
+    propagate_by_line_number,
+    propagate_statements,
+)
+from repro.errors import PropagationError
+
+OLD_SOURCE = textwrap.dedent(
+    """
+    lr = flor.arg("lr", 0.01)
+    state = {"w": 0.0}
+    with flor.checkpointing(state=state):
+        for epoch in flor.loop("epoch", range(5)):
+            state["w"] += lr
+            flor.log("loss", 1.0 / (1.0 + state["w"]))
+    """
+).strip()
+
+NEW_SOURCE = textwrap.dedent(
+    """
+    lr = flor.arg("lr", 0.01)
+    state = {"w": 0.0}
+    with flor.checkpointing(state=state):
+        for epoch in flor.loop("epoch", range(5)):
+            state["w"] += lr
+            flor.log("loss", 1.0 / (1.0 + state["w"]))
+            flor.log("weight", state["w"])
+    """
+).strip()
+
+REFACTORED_OLD = textwrap.dedent(
+    """
+    # An earlier revision: different hyperparameters, extra helper, shifted lines.
+    def helper(value):
+        return value * 2
+
+    lr = flor.arg("lr", 0.05)
+    state = {"w": 0.0}
+    with flor.checkpointing(state=state):
+        for epoch in flor.loop("epoch", range(3)):
+            state["w"] += lr
+            flor.log("loss", 1.0 / (1.0 + state["w"]))
+    """
+).strip()
+
+
+class TestFindFlorStatements:
+    def test_finds_log_and_arg_calls(self):
+        statements = find_flor_statements(NEW_SOURCE)
+        names = [(s.call_name, s.logged_name) for s in statements]
+        assert ("arg", "lr") in names
+        assert ("log", "loss") in names
+        assert ("log", "weight") in names
+
+    def test_assignment_form_is_detected(self):
+        statements = find_flor_statements("x = flor.log('acc', value)\n")
+        assert statements[0].logged_name == "acc"
+
+    def test_non_flor_calls_ignored(self):
+        statements = find_flor_statements("print('hi')\nother.log('x', 1)\n")
+        assert statements == []
+
+    def test_custom_module_alias(self):
+        statements = find_flor_statements("fl.log('x', 1)\n", module_alias="fl")
+        assert len(statements) == 1
+
+    def test_multiline_statement_captured_fully(self):
+        source = "flor.log(\n    'acc',\n    compute(),\n)\n"
+        statement = find_flor_statements(source)[0]
+        assert statement.line_count == 4
+        assert "compute()" in statement.text
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(PropagationError):
+            find_flor_statements("def broken(:\n")
+
+
+class TestPropagation:
+    def test_injects_new_statement_into_identical_old_version(self):
+        result = propagate_statements(OLD_SOURCE, NEW_SOURCE)
+        assert result.injected_count == 1
+        assert 'flor.log("weight", state["w"])' in result.patched_source
+        ast.parse(result.patched_source)
+
+    def test_injection_lands_inside_the_loop_body(self):
+        result = propagate_statements(OLD_SOURCE, NEW_SOURCE)
+        lines = result.patched_source.splitlines()
+        weight_line = next(line for line in lines if "weight" in line)
+        loss_line = next(line for line in lines if '"loss"' in line)
+        assert len(weight_line) - len(weight_line.lstrip()) == len(loss_line) - len(loss_line.lstrip())
+        assert lines.index(weight_line) == lines.index(loss_line) + 1
+
+    def test_statements_already_present_are_not_duplicated(self):
+        result = propagate_statements(NEW_SOURCE, NEW_SOURCE)
+        assert result.injected_count == 0
+        assert len(result.already_present) >= 3
+        assert result.patched_source == NEW_SOURCE
+
+    def test_propagation_is_idempotent(self):
+        first = propagate_statements(OLD_SOURCE, NEW_SOURCE)
+        second = propagate_statements(first.patched_source, NEW_SOURCE)
+        assert second.injected_count == 0
+        assert second.patched_source.count('"weight"') == 1
+
+    def test_propagation_survives_refactored_old_version(self):
+        result = propagate_statements(REFACTORED_OLD, NEW_SOURCE)
+        assert result.injected_count == 1
+        patched = result.patched_source
+        ast.parse(patched)
+        lines = patched.splitlines()
+        weight_idx = next(i for i, line in enumerate(lines) if "weight" in line)
+        loss_idx = next(i for i, line in enumerate(lines) if '"loss"' in line)
+        assert weight_idx == loss_idx + 1  # still right after the loss log, inside the loop
+
+    def test_statement_filter_restricts_injection(self):
+        result = propagate_statements(
+            OLD_SOURCE,
+            NEW_SOURCE,
+            statement_filter=lambda s: s.logged_name == "nonexistent",
+        )
+        assert result.injected_count == 0
+        assert result.patched_source == OLD_SOURCE
+
+    def test_patched_source_always_parses(self):
+        # Old version with a very different structure.
+        old = "for epoch in flor.loop('epoch', range(2)):\n    pass\n"
+        result = propagate_statements(old, NEW_SOURCE)
+        ast.parse(result.patched_source)
+
+    def test_result_flags(self):
+        result = propagate_statements(OLD_SOURCE, NEW_SOURCE)
+        assert result.changed
+        unchanged = propagate_statements(NEW_SOURCE, NEW_SOURCE)
+        assert not unchanged.changed
+
+
+class TestLineNumberBaseline:
+    def test_baseline_works_when_versions_are_line_aligned(self):
+        result = propagate_by_line_number(OLD_SOURCE, NEW_SOURCE)
+        assert result.injected_count == 1
+        ast.parse(result.patched_source)
+
+    def test_baseline_misplaces_under_refactoring(self):
+        """The ablation's point: absolute line numbers break when code shifts."""
+        anchored = propagate_statements(REFACTORED_OLD, NEW_SOURCE)
+        baseline = propagate_by_line_number(REFACTORED_OLD, NEW_SOURCE)
+
+        def weight_is_adjacent_to_loss(source: str) -> bool:
+            lines = source.splitlines()
+            weight = [i for i, line in enumerate(lines) if "weight" in line]
+            loss = [i for i, line in enumerate(lines) if '"loss"' in line]
+            return bool(weight) and bool(loss) and abs(weight[0] - loss[0]) == 1
+
+        assert weight_is_adjacent_to_loss(anchored.patched_source)
+        assert not weight_is_adjacent_to_loss(baseline.patched_source)

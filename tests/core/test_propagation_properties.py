@@ -1,0 +1,77 @@
+"""Property-based tests for cross-version statement propagation.
+
+The invariants that must hold no matter how the old version was refactored:
+
+* the patched source always parses,
+* propagation never duplicates a statement that already logs the same name,
+* propagation is idempotent (patching a patched source changes nothing),
+* the number of flor statements only ever grows by the number injected.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.propagation import find_flor_statements, propagate_statements
+
+_NEW_SOURCE = """
+lr = flor.arg("lr", 0.01)
+state = {"w": 0.0}
+with flor.checkpointing(state=state):
+    for epoch in flor.loop("epoch", range(4)):
+        state["w"] += lr
+        flor.log("loss", 1.0 / (1.0 + state["w"]))
+        flor.log("weight", state["w"])
+""".strip()
+
+
+@st.composite
+def refactored_old_source(draw) -> str:
+    """An 'older version': same loop, randomly shifted and decorated."""
+    top_comments = draw(st.integers(min_value=0, max_value=6))
+    helper = draw(st.booleans())
+    trailing = draw(st.booleans())
+    lr_default = draw(st.sampled_from(["0.01", "0.05", "0.1"]))
+    epochs = draw(st.integers(min_value=2, max_value=6))
+    parts = [f"# note {i}" for i in range(top_comments)]
+    if helper:
+        parts += ["def helper(x):", "    return x * 2", ""]
+    parts += [
+        f'lr = flor.arg("lr", {lr_default})',
+        'state = {"w": 0.0}',
+        "with flor.checkpointing(state=state):",
+        f'    for epoch in flor.loop("epoch", range({epochs})):',
+        '        state["w"] += lr',
+        '        flor.log("loss", 1.0 / (1.0 + state["w"]))',
+    ]
+    if trailing:
+        parts += ["", 'flor.log("done", True)']
+    return "\n".join(parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(refactored_old_source())
+def test_property_patched_source_parses_and_gains_only_new_names(old_source):
+    result = propagate_statements(old_source, _NEW_SOURCE)
+    ast.parse(result.patched_source)
+
+    old_names = {(s.call_name, s.logged_name) for s in find_flor_statements(old_source)}
+    patched_names = [
+        (s.call_name, s.logged_name) for s in find_flor_statements(result.patched_source)
+    ]
+    # Nothing that existed before is duplicated.
+    for key in old_names:
+        assert patched_names.count(key) == 1
+    # The new 'weight' statement is present exactly once.
+    assert patched_names.count(("log", "weight")) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(refactored_old_source())
+def test_property_propagation_is_idempotent(old_source):
+    once = propagate_statements(old_source, _NEW_SOURCE)
+    twice = propagate_statements(once.patched_source, _NEW_SOURCE)
+    assert twice.injected_count == 0
+    assert twice.patched_source == once.patched_source

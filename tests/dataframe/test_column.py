@@ -1,0 +1,204 @@
+"""Unit and property tests for the Column type."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataframe import Column
+from repro.errors import DataFrameError, LengthMismatchError
+
+
+class TestBasics:
+    def test_length_and_iteration(self):
+        col = Column("x", [1, 2, 3])
+        assert len(col) == 3
+        assert list(col) == [1, 2, 3]
+
+    def test_indexing_scalar_and_slice(self):
+        col = Column("x", [10, 20, 30, 40])
+        assert col[0] == 10
+        assert col[-1] == 40
+        sliced = col[1:3]
+        assert isinstance(sliced, Column)
+        assert sliced.to_list() == [20, 30]
+
+    def test_rename_preserves_values(self):
+        col = Column("x", [1, 2]).rename("y")
+        assert col.name == "y"
+        assert col.to_list() == [1, 2]
+
+    def test_columns_are_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("x", [1]))
+
+
+class TestComparisons:
+    def test_eq_scalar_produces_boolean_column(self):
+        col = Column("x", [1, 2, 1])
+        mask = col == 1
+        assert mask.to_list() == [True, False, True]
+
+    def test_ordering_operators(self):
+        col = Column("x", [1, 5, 3])
+        assert (col > 2).to_list() == [False, True, True]
+        assert (col <= 3).to_list() == [True, False, True]
+
+    def test_comparison_with_none_is_false(self):
+        col = Column("x", [1, None, 3])
+        assert (col == 1).to_list() == [True, False, False]
+
+    def test_comparison_between_columns(self):
+        a = Column("a", [1, 2, 3])
+        b = Column("b", [1, 0, 5])
+        assert (a == b).to_list() == [True, False, False]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            Column("a", [1, 2]) == Column("b", [1])
+
+    def test_incomparable_types_yield_false(self):
+        col = Column("x", ["a", 1])
+        assert (col > 5).to_list() == [False, False]
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (Column("x", [1, 2]) + 1).to_list() == [2, 3]
+
+    def test_radd_and_rsub(self):
+        assert (10 + Column("x", [1, 2])).to_list() == [11, 12]
+        assert (10 - Column("x", [1, 2])).to_list() == [9, 8]
+
+    def test_subtract_columns(self):
+        a = Column("a", [5, 7])
+        b = Column("b", [2, 3])
+        assert (a - b).to_list() == [3, 4]
+
+    def test_multiply_and_divide(self):
+        col = Column("x", [2, 4])
+        assert (col * 3).to_list() == [6, 12]
+        assert (col / 2).to_list() == [1.0, 2.0]
+
+    def test_nulls_propagate_through_arithmetic(self):
+        col = Column("x", [1, None, 3])
+        assert (col + 1).to_list() == [2, None, 4]
+
+    def test_boolean_and_or_invert(self):
+        a = Column("a", [True, True, False])
+        b = Column("b", [True, False, False])
+        assert (a & b).to_list() == [True, False, False]
+        assert (a | b).to_list() == [True, True, False]
+        assert (~a).to_list() == [False, False, True]
+
+
+class TestMissingness:
+    def test_isna_detects_none_and_nan(self):
+        col = Column("x", [1, None, float("nan"), 4])
+        assert col.isna().to_list() == [False, True, True, False]
+        assert col.notna().to_list() == [True, False, False, True]
+
+    def test_fillna_and_dropna(self):
+        col = Column("x", [1, None, 3])
+        assert col.fillna(0).to_list() == [1, 0, 3]
+        assert col.dropna().to_list() == [1, 3]
+
+    def test_any_all_ignore_nulls(self):
+        assert Column("x", [None, 0, 1]).any() is True
+        assert Column("x", [None, 1, 1]).all() is True
+        assert Column("x", [None, None]).any() is False
+
+
+class TestCastsAndMaps:
+    def test_astype_int(self):
+        col = Column("x", ["1", "2", None])
+        assert col.astype(int).to_list() == [1, 2, None]
+
+    def test_astype_failure_raises_dataframe_error(self):
+        with pytest.raises(DataFrameError):
+            Column("x", ["abc"]).astype(int)
+
+    def test_map_skips_nulls(self):
+        col = Column("x", [1, None, 3])
+        assert col.map(lambda v: v * 10).to_list() == [10, None, 30]
+
+
+class TestReductions:
+    def test_sum_mean_min_max(self):
+        col = Column("x", [1, 2, 3, None])
+        assert col.sum() == 6
+        assert col.mean() == pytest.approx(2.0)
+        assert col.min() == 1
+        assert col.max() == 3
+
+    def test_count_and_nunique_and_unique(self):
+        col = Column("x", [1, 1, 2, None])
+        assert col.count() == 3
+        assert col.nunique() == 2
+        assert col.unique() == [1, 2]
+
+    def test_empty_reductions(self):
+        col = Column("x", [])
+        assert col.sum() == 0
+        assert col.mean() is None
+        assert col.min() is None
+        assert col.max() is None
+
+    def test_cumsum_carries_total_over_nulls(self):
+        col = Column("x", [1, None, 2])
+        assert col.cumsum().to_list() == [1, 1, 3]
+
+
+class TestOrdering:
+    def test_argsort_places_nulls_last(self):
+        col = Column("x", [3, None, 1])
+        assert col.argsort() == [2, 0, 1]
+
+    def test_argsort_reverse_keeps_nulls_last(self):
+        col = Column("x", [3, None, 1])
+        assert col.argsort(reverse=True) == [0, 2, 1]
+
+    def test_take_reorders(self):
+        col = Column("x", [10, 20, 30])
+        assert col.take([2, 0]).to_list() == [30, 10]
+
+    def test_equals_considers_null_positions(self):
+        assert Column("x", [1, None]).equals(Column("y", [1, None]))
+        assert not Column("x", [1, None]).equals(Column("y", [1, 2]))
+
+
+# ---------------------------------------------------------------- properties
+
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6)))
+def test_property_cumsum_last_equals_sum(values):
+    col = Column("x", values)
+    if values:
+        assert col.cumsum().to_list()[-1] == sum(values)
+    else:
+        assert col.cumsum().to_list() == []
+
+
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6), min_size=1))
+def test_property_argsort_produces_sorted_values(values):
+    col = Column("x", values)
+    order = col.argsort()
+    sorted_values = [values[i] for i in order]
+    assert sorted_values == sorted(values)
+
+
+@given(
+    st.lists(st.one_of(st.none(), st.integers(min_value=-100, max_value=100)), max_size=50),
+    st.integers(min_value=-100, max_value=100),
+)
+def test_property_fillna_removes_all_nulls(values, fill):
+    filled = Column("x", values).fillna(fill)
+    assert not filled.isna().any()
+    assert len(filled) == len(values)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+def test_property_add_then_subtract_roundtrips(values):
+    col = Column("x", values)
+    assert ((col + 7) - 7).to_list() == values

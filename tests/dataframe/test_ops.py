@@ -1,0 +1,138 @@
+"""Tests for frame-level operations: from_records, concat, merge, pivot_logs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataframe import DataFrame, concat, from_records, merge, pivot_logs
+from repro.errors import ColumnNotFoundError, DataFrameError
+
+
+class TestFromRecords:
+    def test_column_order_first_seen(self):
+        frame = from_records([{"a": 1}, {"b": 2, "a": 3}])
+        assert frame.columns == ["a", "b"]
+        assert frame["b"].to_list() == [None, 2]
+
+    def test_explicit_columns_preserved_when_empty(self):
+        frame = from_records([], columns=["x", "y"])
+        assert frame.columns == ["x", "y"]
+        assert frame.empty
+
+    def test_missing_keys_become_nulls(self):
+        frame = from_records([{"a": 1}, {}], columns=["a"])
+        assert frame["a"].to_list() == [1, None]
+
+
+class TestConcat:
+    def test_stacks_rows_and_unions_columns(self):
+        a = DataFrame({"x": [1], "y": ["p"]})
+        b = DataFrame({"x": [2], "z": [True]})
+        combined = concat([a, b])
+        assert len(combined) == 2
+        assert combined.columns == ["x", "y", "z"]
+        assert combined["z"].to_list() == [None, True]
+
+    def test_concat_empty_list(self):
+        assert concat([]).empty
+
+    def test_concat_skips_none_entries(self):
+        a = DataFrame({"x": [1]})
+        assert len(concat([a, None, a])) == 2
+
+
+class TestMerge:
+    def test_inner_join_matches_keys(self):
+        left = DataFrame({"k": [1, 2, 3], "a": ["x", "y", "z"]})
+        right = DataFrame({"k": [2, 3, 4], "b": [20, 30, 40]})
+        joined = merge(left, right, on="k")
+        assert len(joined) == 2
+        assert joined["b"].to_list() == [20, 30]
+
+    def test_left_join_keeps_unmatched_left_rows(self):
+        left = DataFrame({"k": [1, 2], "a": ["x", "y"]})
+        right = DataFrame({"k": [2], "b": [20]})
+        joined = merge(left, right, on="k", how="left")
+        assert len(joined) == 2
+        assert joined["b"].to_list() == [None, 20]
+
+    def test_join_on_multiple_keys(self):
+        left = DataFrame({"k1": [1, 1], "k2": ["a", "b"], "v": [10, 11]})
+        right = DataFrame({"k1": [1], "k2": ["b"], "w": [99]})
+        joined = merge(left, right, on=["k1", "k2"], how="left")
+        assert joined["w"].to_list() == [None, 99]
+
+    def test_overlapping_columns_get_suffixes(self):
+        left = DataFrame({"k": [1], "v": ["left"]})
+        right = DataFrame({"k": [1], "v": ["right"]})
+        joined = merge(left, right, on="k")
+        assert set(joined.columns) == {"k", "v_x", "v_y"}
+
+    def test_one_to_many_join_duplicates_left_rows(self):
+        left = DataFrame({"k": [1], "a": ["x"]})
+        right = DataFrame({"k": [1, 1], "b": [1, 2]})
+        assert len(merge(left, right, on="k")) == 2
+
+    def test_missing_key_column_raises(self):
+        with pytest.raises(ColumnNotFoundError):
+            merge(DataFrame({"k": [1]}), DataFrame({"other": [1]}), on="k")
+
+    def test_unsupported_join_type_raises(self):
+        with pytest.raises(DataFrameError):
+            merge(DataFrame({"k": [1]}), DataFrame({"k": [1]}), on="k", how="outer")
+
+    def test_empty_result_preserves_schema(self):
+        left = DataFrame({"k": [1], "a": [2]})
+        right = DataFrame({"k": [9], "b": [3]})
+        joined = merge(left, right, on="k")
+        assert joined.empty
+        assert "b" in joined.columns
+
+
+class TestPivotLogs:
+    def test_basic_pivot(self):
+        records = [
+            {"run": "r1", "value_name": "acc", "value": 0.9},
+            {"run": "r1", "value_name": "loss", "value": 0.1},
+            {"run": "r2", "value_name": "acc", "value": 0.8},
+        ]
+        frame = pivot_logs(records, ["acc", "loss"], ["run"])
+        assert len(frame) == 2
+        first = frame.row(0)
+        assert first["acc"] == 0.9 and first["loss"] == 0.1
+
+    def test_pivot_ignores_unrequested_names(self):
+        records = [{"run": "r", "value_name": "junk", "value": 1}]
+        frame = pivot_logs(records, ["acc"], ["run"])
+        assert frame.empty
+
+    def test_pivot_keeps_dimension_columns(self):
+        records = [{"run": "r", "epoch": 3, "value_name": "acc", "value": 0.5}]
+        frame = pivot_logs(records, ["acc"], ["run", "epoch"])
+        assert frame.row(0)["epoch"] == 3
+
+
+# ---------------------------------------------------------------- properties
+
+keys = st.integers(min_value=0, max_value=5)
+
+
+@given(
+    st.lists(keys, min_size=0, max_size=20),
+    st.lists(keys, min_size=0, max_size=20),
+)
+def test_property_inner_join_cardinality_matches_key_products(left_keys, right_keys):
+    left = from_records([{"k": k, "a": i} for i, k in enumerate(left_keys)], columns=["k", "a"])
+    right = from_records([{"k": k, "b": i} for i, k in enumerate(right_keys)], columns=["k", "b"])
+    joined = merge(left, right, on="k")
+    expected = sum(left_keys.count(k) * right_keys.count(k) for k in set(left_keys))
+    assert len(joined) == expected
+
+
+@given(st.lists(keys, min_size=0, max_size=20), st.lists(keys, min_size=0, max_size=20))
+def test_property_left_join_never_drops_left_rows(left_keys, right_keys):
+    left = from_records([{"k": k, "a": i} for i, k in enumerate(left_keys)], columns=["k", "a"])
+    right = from_records([{"k": k} for k in set(right_keys)], columns=["k"])
+    joined = merge(left, right, on="k", how="left")
+    assert len(joined) == len(left)

@@ -1,0 +1,83 @@
+"""Tests for the synthetic document corpus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.docs.corpus import DocumentCorpus, generate_corpus
+
+
+@pytest.fixture()
+def corpus():
+    return generate_corpus(num_documents=5, min_pages=3, max_pages=8, scanned_fraction=0.4, seed=11)
+
+
+class TestGeneration:
+    def test_document_count_and_page_bounds(self, corpus):
+        assert len(corpus) == 5
+        for document in corpus:
+            assert 3 <= len(document) <= 8
+
+    def test_generation_is_deterministic_per_seed(self):
+        a = generate_corpus(num_documents=3, seed=5)
+        b = generate_corpus(num_documents=3, seed=5)
+        assert [d.name for d in a] == [d.name for d in b]
+        assert a.documents[0].pages[0].text == b.documents[0].pages[0].text
+        c = generate_corpus(num_documents=3, seed=6)
+        assert a.documents[0].pages[1].text != c.documents[0].pages[1].text
+
+    def test_first_page_flags(self, corpus):
+        for document in corpus:
+            flags = [p.is_first_page for p in document]
+            assert flags[0] is True
+            assert sum(flags) == 1
+
+    def test_page_numbers_are_sequential(self, corpus):
+        for document in corpus:
+            assert [p.number for p in document] == list(range(1, len(document) + 1))
+
+    def test_first_page_contains_title(self, corpus):
+        for document in corpus:
+            assert document.title in document.pages[0].text
+
+    def test_scanned_fraction_roughly_respected(self):
+        corpus = generate_corpus(num_documents=20, min_pages=4, max_pages=8, scanned_fraction=0.5, seed=0)
+        scanned = sum(p.is_scanned for d in corpus for p in d)
+        assert 0.3 < scanned / corpus.total_pages < 0.7
+
+    def test_zero_scanned_fraction(self):
+        corpus = generate_corpus(num_documents=3, scanned_fraction=0.0, seed=0)
+        assert not any(p.is_scanned for d in corpus for p in d)
+
+
+class TestAccess:
+    def test_get_by_name_and_missing(self, corpus):
+        name = corpus.document_names()[0]
+        assert corpus.get(name).name == name
+        with pytest.raises(KeyError):
+            corpus.get("missing.pdf")
+
+    def test_total_pages(self, corpus):
+        assert corpus.total_pages == sum(len(d) for d in corpus)
+
+    def test_word_count_positive(self, corpus):
+        assert all(p.word_count > 0 for d in corpus for p in d)
+
+
+class TestPersistence:
+    def test_write_to_creates_page_files_and_manifest(self, corpus, tmp_path):
+        out = corpus.write_to(tmp_path / "corpus")
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert set(manifest) == set(corpus.document_names())
+        first_doc = corpus.documents[0]
+        page_file = out / first_doc.name / "page_001.txt"
+        assert page_file.exists()
+        assert page_file.read_text() == first_doc.pages[0].text
+        assert manifest[first_doc.name][0]["is_first_page"] is True
+
+    def test_empty_corpus_roundtrip(self, tmp_path):
+        empty = DocumentCorpus()
+        out = empty.write_to(tmp_path / "empty")
+        assert json.loads((out / "manifest.json").read_text()) == {}

@@ -1,0 +1,84 @@
+"""Tests for page featurization (Figure 3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import active_session
+from repro.docs.corpus import generate_corpus
+from repro.docs.featurize import analyze_text, extract_features, feature_vector, featurize_corpus
+from repro.docs.ocr import read_page
+
+
+@pytest.fixture()
+def corpus():
+    return generate_corpus(num_documents=3, min_pages=2, max_pages=4, seed=2)
+
+
+class TestAnalyzeText:
+    def test_extracts_page_numbers(self):
+        headings, numbers = analyze_text("Some body text\n\nPage 7")
+        assert numbers == [7]
+
+    def test_extracts_section_headings(self):
+        headings, _ = analyze_text("Section 3: Housing Court Filings\ncontent\n\nPage 2")
+        assert headings == ["Section 3: Housing Court Filings"]
+
+    def test_no_matches(self):
+        headings, numbers = analyze_text("just plain text without structure")
+        assert headings == [] and numbers == []
+
+
+class TestExtractFeatures:
+    def test_feature_fields(self, corpus):
+        document = corpus.documents[0]
+        extraction = read_page(document, 0)
+        features = extract_features(document, 0, extraction)
+        assert features.document == document.name
+        assert features.page_index == 0
+        assert features.word_count > 0
+        assert 0.0 <= features.uppercase_ratio <= 1.0
+        assert 0.0 <= features.digit_ratio <= 1.0
+
+    def test_first_page_label_heuristic(self, corpus):
+        document = corpus.documents[0]
+        first = extract_features(document, 0, read_page(document, 0))
+        assert first.label_first_page() == 1
+        if len(document) > 1:
+            later = extract_features(document, 1, read_page(document, 1))
+            assert later.label_first_page() == 0
+
+    def test_feature_vector_shape_and_determinism(self, corpus):
+        document = corpus.documents[0]
+        features = extract_features(document, 0, read_page(document, 0))
+        vector = feature_vector(features)
+        assert vector.shape == (8,)
+        assert np.array_equal(vector, feature_vector(features))
+
+
+class TestFeaturizeCorpus:
+    def test_yields_one_record_per_page(self, corpus):
+        records = list(featurize_corpus(corpus, use_flor=False))
+        assert len(records) == corpus.total_pages
+
+    def test_document_filter(self, corpus):
+        wanted = corpus.document_names()[:1]
+        records = list(featurize_corpus(corpus, use_flor=False, documents=wanted))
+        assert {r.document for r in records} == set(wanted)
+
+    def test_flor_instrumentation_logs_figure3_names(self, corpus, session):
+        with active_session(session):
+            list(featurize_corpus(corpus))
+        frame = session.dataframe("text_src", "headings", "page_numbers", "first_page")
+        assert len(frame) == corpus.total_pages
+        assert set(frame["text_src"].unique()) <= {"OCR", "TXT"}
+        assert "document_value" in frame.columns
+        assert "page" in frame.columns
+
+    def test_page_text_logged(self, corpus, session):
+        with active_session(session):
+            list(featurize_corpus(corpus))
+        frame = session.dataframe("page_text")
+        assert len(frame) == corpus.total_pages
+        assert all(isinstance(row["page_text"], str) for row in frame.to_records())

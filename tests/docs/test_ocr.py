@@ -1,0 +1,64 @@
+"""Tests for the simulated OCR / text extraction channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docs.corpus import Document, Page
+from repro.docs.ocr import SOURCE_OCR, SOURCE_TXT, read_page, simulate_ocr
+
+
+@pytest.fixture()
+def document():
+    return Document(
+        name="doc.pdf",
+        title="Title",
+        topic="topic",
+        pages=[
+            Page(number=1, heading="Title", text="Clean digital text.\nPage 1", is_first_page=True, is_scanned=False),
+            Page(number=2, heading=None, text="Scanned page with Olive l1nes.\nPage 2", is_scanned=True),
+        ],
+    )
+
+
+class TestSimulateOcr:
+    def test_zero_error_rate_is_identity(self):
+        text = "The quick brown fox. Page 3"
+        noisy, applied = simulate_ocr(text, error_rate=0.0)
+        assert noisy == text
+        assert applied == 0.0
+
+    def test_noise_is_deterministic_for_seed(self):
+        text = "Some reasonably long text for corruption." * 3
+        a, _ = simulate_ocr(text, error_rate=0.1, seed=1)
+        b, _ = simulate_ocr(text, error_rate=0.1, seed=1)
+        c, _ = simulate_ocr(text, error_rate=0.1, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_higher_error_rate_corrupts_more(self):
+        text = "abcdefghijklmnopqrstuvwxyz" * 20
+        _low, low_rate = simulate_ocr(text, error_rate=0.01, seed=0)
+        _high, high_rate = simulate_ocr(text, error_rate=0.2, seed=0)
+        assert high_rate > low_rate
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_ocr("text", error_rate=1.5)
+
+
+class TestReadPage:
+    def test_digital_page_uses_txt_channel(self, document):
+        extraction = read_page(document, 0)
+        assert extraction.text_src == SOURCE_TXT
+        assert extraction.text == document.pages[0].text
+        assert extraction.char_error_estimate == 0.0
+
+    def test_scanned_page_uses_ocr_channel(self, document):
+        extraction = read_page(document, 1, ocr_error_rate=0.1, seed=3)
+        assert extraction.text_src == SOURCE_OCR
+
+    def test_as_tuple_matches_figure3_destructuring(self, document):
+        text_src, page_text = read_page(document, 0).as_tuple()
+        assert text_src == SOURCE_TXT
+        assert "Clean digital text" in page_text

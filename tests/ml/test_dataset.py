@@ -1,0 +1,93 @@
+"""Tests for datasets and mini-batch loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.ml.dataset import DataLoader, Dataset, train_test_split
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(rng.normal(size=(20, 4)), rng.integers(0, 3, size=20))
+
+
+class TestDataset:
+    def test_basic_properties(self, dataset):
+        assert len(dataset) == 20
+        assert dataset.num_features == 4
+        assert dataset.num_classes == 3
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ModelError):
+            Dataset(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ModelError):
+            Dataset(np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(ModelError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset_and_shuffle_preserve_pairing(self, dataset):
+        shuffled = dataset.shuffled(seed=1)
+        assert len(shuffled) == len(dataset)
+        # Every (row, label) pair in the shuffle exists in the original.
+        original = {(tuple(x), y) for x, y in zip(dataset.X, dataset.y)}
+        assert all((tuple(x), y) in original for x, y in zip(shuffled.X, shuffled.y))
+
+    def test_empty_num_classes(self):
+        data = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        assert data.num_classes == 0
+
+
+class TestSplit:
+    def test_split_sizes(self, dataset):
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(dataset)
+        assert len(test) == 5
+
+    def test_split_is_deterministic_per_seed(self, dataset):
+        a_train, _ = train_test_split(dataset, seed=3)
+        b_train, _ = train_test_split(dataset, seed=3)
+        assert np.array_equal(a_train.X, b_train.X)
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(ModelError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(ModelError):
+            train_test_split(dataset, test_fraction=1.5)
+
+
+class TestDataLoader:
+    def test_batch_count_and_sizes(self, dataset):
+        loader = DataLoader(dataset, batch_size=6)
+        batches = list(loader)
+        assert len(loader) == 4
+        assert [len(x) for x, _ in batches] == [6, 6, 6, 2]
+
+    def test_batches_cover_all_samples(self, dataset):
+        loader = DataLoader(dataset, batch_size=7)
+        total = sum(len(y) for _, y in loader)
+        assert total == len(dataset)
+
+    def test_shuffle_changes_order_but_not_content(self, dataset):
+        plain = np.concatenate([y for _, y in DataLoader(dataset, batch_size=5)])
+        shuffled = np.concatenate([y for _, y in DataLoader(dataset, batch_size=5, shuffle=True, seed=1)])
+        assert sorted(plain.tolist()) == sorted(shuffled.tolist())
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ModelError):
+            DataLoader(dataset, batch_size=0)
+
+
+@given(
+    samples=st.integers(min_value=1, max_value=64),
+    batch=st.integers(min_value=1, max_value=16),
+)
+def test_property_loader_covers_every_sample_exactly_once(samples, batch):
+    data = Dataset(np.arange(samples * 2, dtype=float).reshape(samples, 2), np.zeros(samples, dtype=int))
+    loader = DataLoader(data, batch_size=batch)
+    seen = np.concatenate([x[:, 0] for x, _ in loader])
+    assert sorted(seen.tolist()) == sorted(data.X[:, 0].tolist())

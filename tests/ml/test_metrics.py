@@ -1,0 +1,85 @@
+"""Tests for classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.ml.metrics import accuracy, confusion_matrix, f1_score, precision, recall
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+        assert accuracy([0, 0, 0], [1, 1, 1]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_shape_mismatch_and_empty(self):
+        with pytest.raises(ModelError):
+            accuracy([0, 1], [0])
+        with pytest.raises(ModelError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_explicit_num_classes_pads(self):
+        matrix = confusion_matrix([0, 0], [0, 0], num_classes=3)
+        assert matrix.shape == (3, 3)
+
+
+class TestRecallPrecision:
+    def test_recall_for_positive_class(self):
+        # 2 positives, 1 found.
+        assert recall([1, 1, 0, 0], [1, 0, 0, 0], positive_class=1) == 0.5
+
+    def test_recall_macro_average(self):
+        value = recall([0, 0, 1, 1], [0, 1, 1, 1])
+        assert value == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_recall_with_unseen_positive_class(self):
+        # Degenerate case from the pipeline: no positives in the test split.
+        assert recall([0, 0], [0, 0], positive_class=1) == 0.0
+
+    def test_precision_for_positive_class(self):
+        # Predicted positive twice, one correct.
+        assert precision([1, 0, 0], [1, 1, 0], positive_class=1) == 0.5
+
+    def test_precision_macro_skips_never_predicted_classes(self):
+        # Class 1 is never predicted, so only class 0 (precision 0.5) contributes.
+        assert precision([0, 1], [0, 0]) == pytest.approx(0.5)
+
+    def test_f1_balances_precision_and_recall(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        p = precision(y_true, y_pred, positive_class=1)
+        r = recall(y_true, y_pred, positive_class=1)
+        assert f1_score(y_true, y_pred, positive_class=1) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_nothing_predicted(self):
+        assert f1_score([1, 1], [0, 0], positive_class=1) == 0.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+def test_property_accuracy_of_self_is_one(labels):
+    assert accuracy(labels, labels) == 1.0
+    assert recall(labels, labels) == 1.0
+    assert precision(labels, labels) == 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=50),
+    st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=50),
+)
+def test_property_confusion_matrix_total_equals_sample_count(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    y_true, y_pred = y_true[:n], y_pred[:n]
+    matrix = confusion_matrix(np.array(y_true), np.array(y_pred))
+    assert matrix.sum() == n

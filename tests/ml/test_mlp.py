@@ -1,0 +1,147 @@
+"""Tests for the NumPy MLP: shapes, gradients, state dict round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.mlp import Linear, MLPClassifier, cross_entropy, relu, softmax
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert np.array_equal(relu(x), np.array([[0.0, 0.0, 2.0]]))
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [1000.0, 1000.0, 1000.0]])
+        probabilities = softmax(logits)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert not np.isnan(probabilities).any()  # numerically stable
+
+    def test_cross_entropy_of_perfect_prediction_is_near_zero(self):
+        probabilities = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(probabilities, labels) < 1e-6
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        out = layer.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        with pytest.raises(ModelError):
+            layer.backward(np.zeros((5, 3)))
+
+    def test_zero_grad_clears_accumulators(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        layer.forward(np.ones((3, 2)))
+        layer.backward(np.ones((3, 2)))
+        assert np.abs(layer.dW).sum() > 0
+        layer.zero_grad()
+        assert np.abs(layer.dW).sum() == 0
+
+
+class TestMLPClassifier:
+    def test_constructor_validation(self):
+        with pytest.raises(ModelError):
+            MLPClassifier(0, 2)
+        with pytest.raises(ModelError):
+            MLPClassifier(4, 0)
+
+    def test_forward_and_predict_shapes(self):
+        model = MLPClassifier(6, 4, hidden_sizes=(8, 8), seed=0)
+        x = np.random.default_rng(0).normal(size=(10, 6))
+        assert model.forward(x).shape == (10, 4)
+        assert model.predict(x).shape == (10,)
+        assert model.predict_proba(x).shape == (10, 4)
+        assert np.allclose(model.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_linear_model_with_no_hidden_layers(self):
+        model = MLPClassifier(3, 2, hidden_sizes=(), seed=0)
+        assert len(model.layers) == 1
+        assert model.forward(np.zeros((1, 3))).shape == (1, 2)
+
+    def test_parameter_count(self):
+        model = MLPClassifier(4, 3, hidden_sizes=(5,), seed=0)
+        assert model.parameter_count() == (4 * 5 + 5) + (5 * 3 + 3)
+
+    def test_seed_reproducibility(self):
+        a = MLPClassifier(4, 2, seed=7)
+        b = MLPClassifier(4, 2, seed=7)
+        assert np.array_equal(a.layers[0].W, b.layers[0].W)
+        c = MLPClassifier(4, 2, seed=8)
+        assert not np.array_equal(a.layers[0].W, c.layers[0].W)
+
+    def test_numerical_gradient_check(self):
+        """Backprop gradients must match finite differences."""
+        rng = np.random.default_rng(0)
+        model = MLPClassifier(3, 2, hidden_sizes=(4,), seed=1)
+        x = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 2, size=5)
+
+        model.zero_grad()
+        model.loss_and_backward(x, labels)
+        analytic = model.layers[0].dW.copy()
+
+        eps = 1e-6
+        w = model.layers[0].W
+        for index in [(0, 0), (1, 2), (2, 3)]:
+            original = w[index]
+            w[index] = original + eps
+            loss_plus = cross_entropy(model.predict_proba(x), labels)
+            w[index] = original - eps
+            loss_minus = cross_entropy(model.predict_proba(x), labels)
+            w[index] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert analytic[index] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_training_reduces_loss(self):
+        from repro.ml.optim import SGD
+
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-2, 0.5, size=(30, 2)), rng.normal(2, 0.5, size=(30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        model = MLPClassifier(2, 2, hidden_sizes=(8,), seed=0)
+        optimizer = SGD(model, lr=0.5)
+        first_loss = None
+        last_loss = None
+        for _ in range(50):
+            optimizer.zero_grad()
+            loss = model.loss_and_backward(x, y)
+            optimizer.step()
+            if first_loss is None:
+                first_loss = loss
+            last_loss = loss
+        assert last_loss < first_loss * 0.5
+        assert (model.predict(x) == y).mean() > 0.9
+
+
+class TestStateDict:
+    def test_roundtrip_restores_exact_weights(self):
+        model = MLPClassifier(4, 3, hidden_sizes=(6,), seed=0)
+        saved = model.state_dict()
+        model.layers[0].W += 1.0
+        model.load_state_dict(saved)
+        assert np.array_equal(model.state_dict()["layers.0.W"], saved["layers.0.W"])
+
+    def test_state_dict_is_a_copy(self):
+        model = MLPClassifier(4, 3, seed=0)
+        saved = model.state_dict()
+        model.layers[0].W += 1.0
+        assert not np.array_equal(saved["layers.0.W"], model.layers[0].W)
+
+    def test_missing_keys_rejected(self):
+        model = MLPClassifier(4, 3, seed=0)
+        with pytest.raises(ModelError):
+            model.load_state_dict({})
+
+    def test_shape_mismatch_rejected(self):
+        model = MLPClassifier(4, 3, hidden_sizes=(6,), seed=0)
+        other = MLPClassifier(4, 3, hidden_sizes=(7,), seed=0)
+        with pytest.raises(ModelError):
+            model.load_state_dict(other.state_dict())

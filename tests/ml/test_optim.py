@@ -1,0 +1,106 @@
+"""Tests for the SGD and Adam optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.mlp import MLPClassifier
+from repro.ml.optim import SGD, Adam
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(0)
+    x = np.vstack([rng.normal(-1.5, 0.4, size=(40, 3)), rng.normal(1.5, 0.4, size=(40, 3))])
+    y = np.array([0] * 40 + [1] * 40)
+    return x, y
+
+
+def run_steps(model, optimizer, x, y, steps=40):
+    losses = []
+    for _ in range(steps):
+        optimizer.zero_grad()
+        losses.append(model.loss_and_backward(x, y))
+        optimizer.step()
+    return losses
+
+
+class TestSGD:
+    def test_invalid_lr(self):
+        with pytest.raises(ModelError):
+            SGD(MLPClassifier(2, 2), lr=0.0)
+
+    def test_loss_decreases(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, hidden_sizes=(6,), seed=0)
+        losses = run_steps(model, SGD(model, lr=0.3), x, y)
+        assert losses[-1] < losses[0]
+
+    def test_momentum_converges(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, hidden_sizes=(6,), seed=0)
+        losses = run_steps(model, SGD(model, lr=0.1, momentum=0.9), x, y)
+        assert losses[-1] < losses[0]
+
+    def test_step_changes_weights(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, seed=0)
+        optimizer = SGD(model, lr=0.1)
+        before = model.layers[0].W.copy()
+        optimizer.zero_grad()
+        model.loss_and_backward(x, y)
+        optimizer.step()
+        assert not np.array_equal(before, model.layers[0].W)
+
+    def test_state_dict_roundtrip(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, seed=0)
+        optimizer = SGD(model, lr=0.1, momentum=0.5)
+        run_steps(model, optimizer, x, y, steps=3)
+        state = optimizer.state_dict()
+        fresh = SGD(model, lr=0.9)
+        fresh.load_state_dict(state)
+        assert fresh.lr == 0.1
+        assert fresh.momentum == 0.5
+        assert np.array_equal(fresh._velocity[0]["W"], optimizer._velocity[0]["W"])
+
+
+class TestAdam:
+    def test_invalid_lr(self):
+        with pytest.raises(ModelError):
+            Adam(MLPClassifier(2, 2), lr=-1.0)
+
+    def test_loss_decreases(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, hidden_sizes=(6,), seed=0)
+        losses = run_steps(model, Adam(model, lr=0.05), x, y)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_step_counter_increments(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, seed=0)
+        optimizer = Adam(model)
+        run_steps(model, optimizer, x, y, steps=5)
+        assert optimizer.t == 5
+
+    def test_state_dict_roundtrip_preserves_moments(self, problem):
+        x, y = problem
+        model = MLPClassifier(3, 2, seed=0)
+        optimizer = Adam(model, lr=0.01)
+        run_steps(model, optimizer, x, y, steps=4)
+        state = optimizer.state_dict()
+        fresh = Adam(model, lr=0.5)
+        fresh.load_state_dict(state)
+        assert fresh.t == 4
+        assert fresh.lr == 0.01
+        assert np.array_equal(fresh._m[0]["W"], optimizer._m[0]["W"])
+        assert np.array_equal(fresh._v[0]["b"], optimizer._v[0]["b"])
+
+    def test_adam_and_sgd_reach_high_accuracy(self, problem):
+        x, y = problem
+        for optimizer_cls, kwargs in [(Adam, {"lr": 0.05}), (SGD, {"lr": 0.3})]:
+            model = MLPClassifier(3, 2, hidden_sizes=(8,), seed=0)
+            run_steps(model, optimizer_cls(model, **kwargs), x, y, steps=60)
+            assert (model.predict(x) == y).mean() > 0.95

@@ -1,0 +1,70 @@
+"""Tests for CSV/JSONL exports and TensorBoard-style scalar export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.mlops.export import dataframe_to_csv, dataframe_to_jsonl, export_scalars
+
+
+@pytest.fixture()
+def recorded(session):
+    for run in range(2):
+        for epoch in session.loop("epoch", range(3)):
+            session.log("acc", 0.5 + run * 0.2 + epoch * 0.05)
+        session.log("tags", ["nightly", f"run{run}"])
+        session.commit(f"run {run}")
+    return session
+
+
+class TestCsvExport:
+    def test_roundtrip_rows_and_header(self, recorded, tmp_path):
+        frame = recorded.dataframe("acc")
+        path = dataframe_to_csv(frame, tmp_path / "out" / "acc.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(frame)
+        assert set(rows[0]) == set(frame.columns)
+        assert rows[0]["acc"] == str(frame.row(0)["acc"])
+
+    def test_nulls_and_lists_serialized(self, recorded, tmp_path):
+        frame = recorded.dataframe("acc", "tags")
+        path = dataframe_to_csv(frame, tmp_path / "mixed.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        # list-valued cells are JSON-encoded, missing cells are empty strings.
+        assert any(row["tags"].startswith("[") or row["tags"] == "" for row in rows)
+
+
+class TestJsonlExport:
+    def test_one_object_per_row(self, recorded, tmp_path):
+        frame = recorded.dataframe("acc")
+        path = dataframe_to_jsonl(frame, tmp_path / "acc.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(frame)
+        first = json.loads(lines[0])
+        assert first["acc"] == frame.row(0)["acc"]
+
+
+class TestScalarExport:
+    def test_scalars_written_per_run_and_metric(self, recorded, tmp_path):
+        written = export_scalars(recorded, ["acc"], tmp_path / "scalars")
+        assert len(written) == 2  # one entry per run
+        all_files = [f for files in written.values() for f in files]
+        assert len(all_files) == 2
+        payload = json.loads(open(all_files[0]).read())
+        assert [point["step"] for point in payload] == [0, 1, 2]
+        assert all("value" in point and "tstamp" in point for point in payload)
+
+    def test_run_filter(self, recorded, tmp_path):
+        from repro.mlops.metric_registry import MetricRegistry
+
+        newest = MetricRegistry(recorded).runs("acc")[-1]
+        written = export_scalars(recorded, ["acc"], tmp_path / "scalars", runs=[newest])
+        assert list(written) == [newest]
+
+    def test_unknown_metric_writes_nothing(self, recorded, tmp_path):
+        assert export_scalars(recorded, ["nope"], tmp_path / "scalars") == {}

@@ -1,0 +1,67 @@
+"""Tests for the feature-store role."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mlops.feature_store import FeatureStore
+
+
+@pytest.fixture()
+def store(session):
+    """Features logged for two documents across two runs, plus the store."""
+    for doc in session.loop("document", ["a.pdf", "b.pdf"], filename="featurize.py"):
+        for page in session.loop("page", range(2), filename="featurize.py"):
+            session.log("word_count", 100 + page, filename="featurize.py")
+            session.log("first_page", 1 if page == 0 else 0, filename="featurize.py")
+    session.commit("featurize v1")
+    for doc in session.loop("document", ["a.pdf", "b.pdf"], filename="featurize.py"):
+        for page in session.loop("page", range(2), filename="featurize.py"):
+            session.log("word_count", 200 + page, filename="featurize.py")
+            session.log("first_page", 1 if page == 0 else 0, filename="featurize.py")
+    session.commit("featurize v2")
+    return FeatureStore(session)
+
+
+class TestMaterialization:
+    def test_materialize_latest_returns_current_feature_values(self, store):
+        frame = store.materialize(["word_count", "first_page"])
+        assert len(frame) == 4  # 2 docs × 2 pages, latest run only
+        assert all(row["word_count"] >= 200 for row in frame.to_records())
+
+    def test_materialize_all_history(self, store):
+        frame = store.materialize(["word_count"], latest_only=False)
+        assert len(frame) == 8
+
+    def test_entities_lists_documents(self, store):
+        assert set(store.entities(["word_count"])) == {"a.pdf", "b.pdf"}
+
+    def test_feature_names_include_logged_names(self, store):
+        assert {"word_count", "first_page"} <= set(store.feature_names())
+
+
+class TestOnlineLookup:
+    def test_get_features_for_entity(self, store):
+        rows = store.get_features("a.pdf", ["word_count"])
+        assert len(rows) == 2
+        assert all(row["document_value"] == "a.pdf" for row in rows)
+        assert all(row["word_count"] >= 200 for row in rows)
+
+    def test_get_features_unknown_entity(self, store):
+        assert store.get_features("missing.pdf", ["word_count"]) == []
+
+    def test_get_features_unknown_feature(self, store):
+        assert store.get_features("a.pdf", ["not_logged"]) == []
+
+
+class TestWrites:
+    def test_write_features_on_demand(self, store, session):
+        store.write_features("c.pdf", {"word_count": 321}, sub_entity=0)
+        rows = store.get_features("c.pdf", ["word_count"])
+        assert len(rows) == 1
+        assert rows[0]["word_count"] == 321
+
+    def test_write_features_without_sub_entity(self, store):
+        store.write_features("d.pdf", {"language": "en"})
+        rows = store.get_features("d.pdf", ["language"])
+        assert rows[0]["language"] == "en"

@@ -1,0 +1,91 @@
+"""Tests for post-hoc governance enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GovernanceError
+from repro.mlops.governance import GovernancePolicy
+
+
+@pytest.fixture()
+def recorded_runs(session):
+    """Three training runs, one of which used a poisoned dataset hash."""
+    hashes = ["sha256:clean-1", "sha256:poisoned", "sha256:clean-2"]
+    accuracies = [0.81, 0.99, 0.85]
+    for dataset_hash, acc in zip(hashes, accuracies):
+        session.log("dataset_hash", dataset_hash)
+        for epoch in session.loop("epoch", range(2)):
+            session.log("acc", acc - 0.01 * (1 - epoch))
+        session.commit("training run")
+    return session
+
+
+class TestRuleAuthoring:
+    def test_rule_requires_value_names(self, session):
+        policy = GovernancePolicy(session)
+        with pytest.raises(GovernanceError):
+            policy.add_rule("empty", [], lambda row: None)
+
+
+class TestEvaluation:
+    def test_blocklist_rule_flags_poisoned_runs(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_blocklist_rule("no-poisoned-data", "dataset_hash", ["sha256:poisoned"])
+        report = policy.evaluate()
+        assert not report.ok
+        assert len(report.violations) == 1
+        assert "poisoned" in report.violations[0].detail
+
+    def test_range_rule_on_metrics(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_range_rule("acc-sane", "acc", minimum=0.0, maximum=0.95)
+        report = policy.evaluate()
+        flagged = [v for v in report.violations if v.policy == "acc-sane"]
+        assert len(flagged) == 2  # the 0.98 and 0.99 epochs of the poisoned run
+
+    def test_required_rule_flags_missing_values(self, recorded_runs):
+        # 'reviewer' was never logged: every pivot row should be flagged.
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_required_rule("must-have-reviewer", "reviewer")
+        report = policy.evaluate()
+        assert not report.ok
+        assert all(v.policy == "must-have-reviewer" for v in report.violations)
+
+    def test_clean_history_passes(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_blocklist_rule("no-poisoned-data", "dataset_hash", ["sha256:other"])
+        policy.add_range_rule("acc-range", "acc", minimum=0.0, maximum=1.0)
+        report = policy.evaluate()
+        assert report.ok
+        assert report.checked_rows > 0
+
+    def test_violations_by_policy_counts(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_blocklist_rule("blocklist", "dataset_hash", ["sha256:poisoned"])
+        policy.add_range_rule("range", "acc", maximum=0.9)
+        counts = policy.evaluate().violations_by_policy()
+        assert counts["blocklist"] == 1
+        assert counts["range"] >= 1
+
+    def test_range_rule_rejects_non_numeric(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_range_rule("hash-range", "dataset_hash", minimum=0)
+        report = policy.evaluate()
+        assert any("not numeric" in v.detail for v in report.violations)
+
+    def test_empty_policy_evaluates_clean(self, session):
+        assert GovernancePolicy(session).evaluate().ok
+
+
+class TestEnforcement:
+    def test_enforce_raises_on_violation(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_blocklist_rule("no-poisoned-data", "dataset_hash", ["sha256:poisoned"])
+        with pytest.raises(GovernanceError):
+            policy.enforce()
+
+    def test_enforce_passes_clean_history(self, recorded_runs):
+        policy = GovernancePolicy(recorded_runs)
+        policy.add_range_rule("acc-range", "acc", minimum=0.0, maximum=1.0)
+        assert policy.enforce().ok

@@ -1,0 +1,71 @@
+"""Tests for the label-store role: provenance-aware labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mlops.label_store import SOURCE_HUMAN, SOURCE_MODEL, LabelStore
+
+
+@pytest.fixture()
+def store(session):
+    return LabelStore(session, filename="labels.py")
+
+
+class TestRecording:
+    def test_record_human_labels(self, store, session):
+        written = store.record_labels("a.pdf", {0: {"page_color": 0}, 1: {"page_color": 1}})
+        assert written == 2
+        frame = session.dataframe("page_color", "page_color__source")
+        assert len(frame) == 2
+        assert set(frame["page_color__source"].to_list()) == {SOURCE_HUMAN}
+
+    def test_record_model_labels(self, store):
+        store.record_model_labels("a.pdf", {0: {"page_color": 3}})
+        labels = store.labels("page_color")
+        assert labels[0].source == SOURCE_MODEL
+
+    def test_labels_carry_entity_and_sub_entity(self, store):
+        store.record_labels("report.pdf", {2: {"page_color": 5}})
+        record = store.labels("page_color")[0]
+        assert record.entity == "report.pdf"
+        assert record.sub_entity == "2"
+        assert record.value == 5
+
+
+class TestResolution:
+    def test_human_label_wins_over_model_label(self, store):
+        store.record_model_labels("a.pdf", {0: {"page_color": 1}})
+        store.record_labels("a.pdf", {0: {"page_color": 2}}, source=SOURCE_HUMAN)
+        resolved = store.resolve("page_color", "a.pdf")
+        assert resolved["0"].value == 2
+        assert resolved["0"].source == SOURCE_HUMAN
+
+    def test_newer_label_wins_within_same_source(self, store, session):
+        store.record_labels("a.pdf", {0: {"page_color": 1}})
+        session.commit("first labels")
+        store.record_labels("a.pdf", {0: {"page_color": 7}})
+        resolved = store.resolve("page_color", "a.pdf")
+        assert resolved["0"].value == 7
+
+    def test_resolution_is_per_entity(self, store):
+        store.record_labels("a.pdf", {0: {"page_color": 1}})
+        store.record_labels("b.pdf", {0: {"page_color": 9}})
+        assert store.resolve("page_color", "a.pdf")["0"].value == 1
+        assert store.resolve("page_color", "b.pdf")["0"].value == 9
+
+    def test_resolve_unknown_entity_is_empty(self, store):
+        assert store.resolve("page_color", "ghost.pdf") == {}
+
+
+class TestCoverage:
+    def test_coverage_counts_human_labelled_entities(self, store):
+        store.record_labels("a.pdf", {0: {"page_color": 1}})
+        store.record_model_labels("b.pdf", {0: {"page_color": 1}})
+        coverage = store.coverage("page_color", ["a.pdf", "b.pdf", "c.pdf"])
+        assert coverage["entities"] == 3
+        assert coverage["human_labelled"] == 1
+        assert coverage["coverage"] == pytest.approx(1 / 3)
+
+    def test_coverage_with_no_entities(self, store):
+        assert store.coverage("page_color", [])["coverage"] == 0.0

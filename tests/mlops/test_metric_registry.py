@@ -1,0 +1,75 @@
+"""Tests for the metric-registry role."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mlops.metric_registry import MetricRegistry, MetricSeries
+
+
+@pytest.fixture()
+def registry(session):
+    """Two runs with per-epoch accuracy, the second one better."""
+    for run in range(2):
+        for epoch in session.loop("epoch", range(4)):
+            session.log("acc", 0.5 + run * 0.2 + epoch * 0.05)
+        session.commit(f"run {run}")
+    return MetricRegistry(session)
+
+
+class TestSeries:
+    def test_runs_listed_in_order(self, registry, session):
+        runs = registry.runs("acc")
+        assert len(runs) == 2
+        assert runs == sorted(runs)
+
+    def test_series_defaults_to_latest_run(self, registry):
+        series = registry.series("acc")
+        assert len(series) == 4
+        assert series.values[0] == pytest.approx(0.7)
+        assert series.final == pytest.approx(0.85)
+        assert series.steps == [0, 1, 2, 3]
+
+    def test_series_for_specific_run(self, registry):
+        first_run = registry.runs("acc")[0]
+        series = registry.series("acc", tstamp=first_run)
+        assert series.final == pytest.approx(0.65)
+        assert series.best == pytest.approx(0.65)
+        assert series.worst == pytest.approx(0.5)
+
+    def test_series_for_unknown_metric_is_empty(self, registry):
+        series = registry.series("not_logged")
+        assert len(series) == 0
+        assert series.final is None
+
+    def test_sparkline_rendering(self, registry):
+        series = registry.series("acc")
+        spark = series.sparkline()
+        assert len(spark) == 4
+        assert spark[0] != spark[-1]  # increasing series spans the glyph range
+        assert MetricSeries("x", "t").sparkline() == ""
+
+
+class TestSummaries:
+    def test_compare_runs_final_values(self, registry):
+        frame = registry.compare_runs(["acc"])
+        assert len(frame) == 2
+        assert frame["acc"].to_list() == pytest.approx([0.65, 0.85])
+
+    def test_summary_statistics(self, registry):
+        summary = registry.summary("acc")
+        assert summary["runs"] == 2
+        assert summary["points"] == 8
+        assert summary["best_final"] == pytest.approx(0.85)
+        assert summary["worst_final"] == pytest.approx(0.65)
+
+    def test_summary_of_unknown_metric(self, registry):
+        summary = registry.summary("nope")
+        assert summary["runs"] == 0
+        assert summary["best_final"] is None
+
+    def test_render_contains_value_and_sparkline(self, registry):
+        rendered = registry.render("acc")
+        assert "acc@" in rendered
+        assert "0.85" in rendered
+        assert registry.render("nope") == "nope: (no data)"

@@ -1,0 +1,88 @@
+"""Tests for the model-registry role."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.mlp import MLPClassifier
+from repro.mlops.model_registry import ModelRegistry
+
+
+@pytest.fixture()
+def registry(session):
+    return ModelRegistry(session, filename="train.py")
+
+
+def make_model(seed=0):
+    return MLPClassifier(4, 2, hidden_sizes=(3,), seed=seed)
+
+
+class TestRegistration:
+    def test_register_stores_model_and_metrics(self, registry, session):
+        registered = registry.register("clf", make_model(), {"acc": 0.8, "recall": 0.7})
+        assert registered.metrics == {"acc": 0.8, "recall": 0.7}
+        assert registry.list_models() == [(registered.tstamp, "clf")]
+        frame = session.dataframe("acc", "recall", "model_name")
+        assert frame.row(0)["model_name"] == "clf"
+
+    def test_multiple_runs_registered_separately(self, registry, session):
+        registry.register("clf", make_model(0), {"recall": 0.5})
+        session.commit("run 1")
+        registry.register("clf", make_model(1), {"recall": 0.9})
+        session.commit("run 2")
+        assert len(registry.list_models()) == 2
+
+
+class TestSelection:
+    def test_best_picks_highest_metric(self, registry, session):
+        registry.register("clf", make_model(0), {"recall": 0.5})
+        session.commit()
+        registry.register("clf", make_model(1), {"recall": 0.9})
+        session.commit()
+        best = registry.best("recall")
+        assert best["recall"] == 0.9
+
+    def test_best_returns_none_without_runs(self, registry):
+        assert registry.best("recall") is None
+
+    def test_load_best_returns_model_with_best_weights(self, registry, session):
+        weak = make_model(0)
+        strong = make_model(1)
+        registry.register("clf", weak, {"recall": 0.2})
+        session.commit()
+        registry.register("clf", strong, {"recall": 0.95})
+        session.commit()
+        loaded, row = registry.load_best("recall")
+        assert row["recall"] == 0.95
+        assert np.array_equal(loaded.state_dict()["layers.0.W"], strong.state_dict()["layers.0.W"])
+
+    def test_metrics_frame_default_columns(self, registry, session):
+        registry.register("clf", make_model(), {"acc": 0.7, "recall": 0.6})
+        frame = registry.metrics_frame()
+        assert "acc" in frame.columns and "recall" in frame.columns
+
+
+class TestLoading:
+    def test_load_roundtrips_state_dict(self, registry):
+        model = make_model(3)
+        registered = registry.register("clf", model, {"acc": 1.0})
+        loaded = registry.load(registered.tstamp, "clf")
+        assert isinstance(loaded, MLPClassifier)
+        assert np.array_equal(loaded.state_dict()["layers.0.b"], model.state_dict()["layers.0.b"])
+
+    def test_load_with_custom_factory(self, registry):
+        model = make_model(5)
+        registered = registry.register("clf", model, {"acc": 1.0})
+        loaded = registry.load(registered.tstamp, "clf", model_factory=lambda: make_model(99))
+        assert np.array_equal(loaded.state_dict()["layers.0.W"], model.state_dict()["layers.0.W"])
+
+    def test_load_unknown_model_raises(self, registry):
+        with pytest.raises(ReproError):
+            registry.load("2020-01-01T00:00:00", "ghost")
+
+    def test_register_plain_object_roundtrips(self, registry):
+        payload = {"threshold": 0.5, "labels": ["a", "b"]}
+        registered = registry.register("rules", payload, {"acc": 0.4})
+        assert registry.load(registered.tstamp, "rules") == payload

@@ -1,0 +1,72 @@
+"""Tests for the Database wrapper: transactions, queries, error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.relational.database import Database
+
+
+class TestLifecycle:
+    def test_in_memory_database(self):
+        with Database(":memory:") as db:
+            assert db.count("logs") == 0
+
+    def test_file_database_created_with_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "flor.db"
+        with Database(path) as db:
+            db.execute(
+                "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
+                " VALUES ('p', 't', 'f', 0, 'n', 'v', 0)"
+            )
+        assert path.exists()
+        # Re-opening sees the persisted row.
+        with Database(path) as db:
+            assert db.count("logs") == 1
+
+
+class TestExecution:
+    def test_execute_and_query(self, db):
+        db.execute(
+            "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            ("p", "t", "f", 0, "acc", "0.5", 2),
+        )
+        rows = db.query("SELECT value_name, value FROM logs")
+        assert rows == [("acc", "0.5")]
+
+    def test_query_one_returns_none_for_empty(self, db):
+        assert db.query_one("SELECT * FROM logs WHERE projid = ?", ("missing",)) is None
+
+    def test_executemany_noop_on_empty(self, db):
+        db.executemany("INSERT INTO meta (key, value) VALUES (?, ?)", [])
+        assert db.query_one("SELECT COUNT(*) FROM meta")[0] == 1  # only schema_version
+
+    def test_invalid_sql_raises_database_error(self, db):
+        with pytest.raises(DatabaseError):
+            db.execute("SELECT * FROM nonexistent_table")
+
+    def test_count_unknown_table_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.count("nope")
+
+
+class TestTransactions:
+    def test_transaction_commits_on_success(self, db):
+        with db.transaction() as conn:
+            conn.execute(
+                "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
+                " VALUES ('p', 't', 'f', 0, 'n', 'v', 0)"
+            )
+        assert db.count("logs") == 1
+
+    def test_transaction_rolls_back_on_error(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as conn:
+                conn.execute(
+                    "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
+                    " VALUES ('p', 't', 'f', 0, 'n', 'v', 0)"
+                )
+                raise RuntimeError("boom")
+        assert db.count("logs") == 0

@@ -1,0 +1,109 @@
+"""Tests for higher-level query shapes: dimensions, latest, git view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.relational.queries import (
+    AnnotatedLog,
+    git_view,
+    latest,
+    long_format_frame,
+    long_format_records,
+)
+from repro.relational.records import LogRecord, LoopRecord
+from repro.versioning.repository import Repository
+
+
+@pytest.fixture()
+def populated_db(db):
+    """Two nested loops (epoch > step) with logs at both levels."""
+    from repro.relational.repositories import LogRepository, LoopRepository
+
+    loops = LoopRepository(db)
+    logs = LogRepository(db)
+    loops.add_many(
+        [
+            LoopRecord("p", "t1", "train.py", 1, 0, "epoch", 0, "0"),
+            LoopRecord("p", "t1", "train.py", 2, 1, "step", 0, "b0"),
+            LoopRecord("p", "t1", "train.py", 3, 1, "step", 1, "b1"),
+            LoopRecord("p", "t1", "train.py", 4, 0, "epoch", 1, "1"),
+        ]
+    )
+    logs.add_many(
+        [
+            LogRecord.create("p", "t1", "train.py", 2, "loss", 0.9),
+            LogRecord.create("p", "t1", "train.py", 3, "loss", 0.7),
+            LogRecord.create("p", "t1", "train.py", 1, "acc", 0.5),
+            LogRecord.create("p", "t1", "train.py", 4, "acc", 0.6),
+            LogRecord.create("p", "t1", "train.py", 0, "lr", 0.01),
+        ]
+    )
+    return db
+
+
+class TestLongFormat:
+    def test_dimensions_follow_loop_ancestry(self, populated_db):
+        records = long_format_records(populated_db, "p", ["loss"])
+        assert len(records) == 2
+        first = records[0]
+        assert first.dimensions == {"epoch": 0, "step": 0}
+        assert first.dimension_values == {"epoch_value": "0", "step_value": "b0"}
+        assert first.depth == 2
+
+    def test_top_level_log_has_no_dimensions(self, populated_db):
+        records = long_format_records(populated_db, "p", ["lr"])
+        assert records[0].dimensions == {}
+        assert records[0].depth == 0
+
+    def test_all_names_returned_when_unfiltered(self, populated_db):
+        names = {r.value_name for r in long_format_records(populated_db, "p")}
+        assert names == {"loss", "acc", "lr"}
+
+    def test_long_format_frame_has_dimension_columns(self, populated_db):
+        frame = long_format_frame(populated_db, "p", ["loss"])
+        assert isinstance(frame, DataFrame)
+        assert "epoch" in frame.columns and "step" in frame.columns
+        assert len(frame) == 2
+
+    def test_values_are_decoded(self, populated_db):
+        records = long_format_records(populated_db, "p", ["acc"])
+        assert {r.value for r in records} == {0.5, 0.6}
+
+    def test_as_row_contains_identity_and_dims(self, populated_db):
+        record = long_format_records(populated_db, "p", ["loss"])[0]
+        row = record.as_row()
+        assert row["filename"] == "train.py"
+        assert row["value_name"] == "loss"
+        assert row["epoch"] == 0
+
+
+class TestLatest:
+    def test_latest_keeps_only_max_tstamp_rows(self):
+        frame = DataFrame({"tstamp": ["t1", "t2", "t2"], "v": [1, 2, 3]})
+        result = latest(frame)
+        assert len(result) == 2
+        assert set(result["v"].to_list()) == {2, 3}
+
+    def test_latest_on_empty_or_missing_column(self):
+        assert latest(DataFrame()).empty
+        frame = DataFrame({"v": [1]})
+        assert latest(frame).equals(frame)
+
+
+class TestGitView:
+    def test_git_view_lists_files_per_commit(self, tmp_path):
+        repo = Repository(tmp_path / "objects", tmp_path)
+        (tmp_path / "a.py").write_text("print('v1')\n")
+        repo.track("a.py")
+        first = repo.commit("v1")
+        (tmp_path / "a.py").write_text("print('v2')\n")
+        second = repo.commit("v2")
+        frame = git_view(repo)
+        assert set(frame.columns) == {"vid", "filename", "parent_vid", "contents"}
+        assert len(frame) == 2
+        rows = {r["vid"]: r for r in frame.to_records()}
+        assert rows[first.vid]["parent_vid"] is None
+        assert rows[second.vid]["parent_vid"] == first.vid
+        assert "v2" in rows[second.vid]["contents"]

@@ -1,0 +1,83 @@
+"""Schema tests: the on-disk layout matches Figure 1 of the paper."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import SCHEMA_VERSION, TABLES, create_schema, table_columns
+
+
+class TestSchemaCreation:
+    def test_all_tables_exist(self, db):
+        for table in TABLES:
+            expected = 1 if table == "meta" else 0  # meta holds the schema version
+            assert db.count(table) == expected
+
+    def test_schema_is_idempotent(self, db):
+        # Creating the schema twice on the same connection must not fail.
+        with db.transaction() as conn:
+            create_schema(conn)
+
+    def test_schema_version_recorded(self, db):
+        row = db.query_one("SELECT value FROM meta WHERE key = 'schema_version'")
+        assert row is not None
+        assert int(row[0]) == SCHEMA_VERSION
+
+    def test_incompatible_version_rejected(self):
+        conn = sqlite3.connect(":memory:")
+        create_schema(conn)
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        conn.commit()
+        with pytest.raises(SchemaError):
+            create_schema(conn)
+
+
+class TestFigure1Columns:
+    """Column names must match the data model figure exactly."""
+
+    def test_logs_columns(self, db):
+        with db.transaction() as conn:
+            columns = table_columns(conn, "logs")
+        for expected in ("projid", "tstamp", "filename", "ctx_id", "value_name", "value", "value_type"):
+            assert expected in columns
+
+    def test_loops_columns(self, db):
+        with db.transaction() as conn:
+            columns = table_columns(conn, "loops")
+        for expected in (
+            "projid",
+            "tstamp",
+            "filename",
+            "ctx_id",
+            "parent_ctx_id",
+            "loop_name",
+            "loop_iteration",
+            "iteration_value",
+        ):
+            assert expected in columns
+
+    def test_ts2vid_columns(self, db):
+        with db.transaction() as conn:
+            columns = table_columns(conn, "ts2vid")
+        for expected in ("projid", "ts_start", "ts_end", "vid", "root_target"):
+            assert expected in columns
+
+    def test_obj_store_columns(self, db):
+        with db.transaction() as conn:
+            columns = table_columns(conn, "obj_store")
+        for expected in ("projid", "tstamp", "filename", "ctx_id", "value_name", "contents"):
+            assert expected in columns
+
+    def test_build_deps_columns(self, db):
+        with db.transaction() as conn:
+            columns = table_columns(conn, "build_deps")
+        for expected in ("vid", "target", "deps", "cmds", "cached"):
+            assert expected in columns
+
+    def test_unknown_table_rejected(self, db):
+        with db.transaction() as conn:
+            with pytest.raises(SchemaError):
+                table_columns(conn, "not_a_table")

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import VersionedScriptWorkload
+
+
+@pytest.fixture()
+def recorded_project(tmp_path):
+    """A project directory holding three recorded versions of train.py."""
+    from repro import ProjectConfig, Session
+
+    root = tmp_path / "proj"
+    # No explicit projid: the CLI will resolve the same default (the directory
+    # name), which is how a user would run it against an existing project.
+    session = Session(ProjectConfig(root))
+    workload = VersionedScriptWorkload(versions=3, epochs=3, steps=2)
+    workload.record_all_versions(session)
+    session.close()
+    return root, workload
+
+
+class TestQueries:
+    def test_names_lists_log_names(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "names"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out
+        assert "lr" in out
+
+    def test_versions_lists_epochs(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "versions"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4  # header + three epochs
+        assert "version 0" in out
+
+    def test_dataframe_prints_pivot(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "dataframe", "loss"]) == 0
+        out = capsys.readouterr().out
+        assert "tstamp" in out and "loss" in out
+
+    def test_dataframe_latest_restricts_rows(self, recorded_project, capsys):
+        root, _ = recorded_project
+        main(["--project", str(root), "dataframe", "loss"])
+        full = capsys.readouterr().out
+        main(["--project", str(root), "dataframe", "loss", "--latest"])
+        latest = capsys.readouterr().out
+        assert len(latest.splitlines()) < len(full.splitlines())
+
+    def test_sql_direct_and_pivot(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "sql", "SELECT COUNT(*) AS n FROM logs"]) == 0
+        assert "n" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "--project",
+                    str(root),
+                    "sql",
+                    "SELECT COUNT(*) AS rows FROM pivot",
+                    "--names",
+                    "loss",
+                ]
+            )
+            == 0
+        )
+        assert "rows" in capsys.readouterr().out
+
+    def test_sql_write_statement_fails_cleanly(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "sql", "DELETE FROM logs"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_counts_tables(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "logs" in out and "commits" in out
+
+    def test_empty_project(self, tmp_path, capsys):
+        assert main(["--project", str(tmp_path / "fresh"), "names"]) == 0
+        assert "no log names" in capsys.readouterr().err
+
+
+class TestBackfill:
+    def test_backfill_from_source_file(self, recorded_project, capsys, tmp_path):
+        root, workload = recorded_project
+        new_source = tmp_path / "new_train.py"
+        new_source.write_text(workload.hindsight_source())
+        exit_code = main(
+            [
+                "--project",
+                str(root),
+                "backfill",
+                "train.py",
+                "--source",
+                str(new_source),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "new_records" in out
+        # The new column is now queryable through the CLI as well.
+        main(["--project", str(root), "dataframe", "weight"])
+        assert "weight" in capsys.readouterr().out
+
+    def test_backfill_with_iteration_restriction(self, recorded_project, tmp_path, capsys):
+        root, workload = recorded_project
+        new_source = tmp_path / "new_train.py"
+        new_source.write_text(workload.hindsight_source())
+        exit_code = main(
+            [
+                "--project",
+                str(root),
+                "backfill",
+                "train.py",
+                "--source",
+                str(new_source),
+                "--loop",
+                "epoch",
+                "--epoch",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "iterations_skipped" in capsys.readouterr().out
+
+    def test_backfill_missing_script_fails(self, recorded_project, capsys):
+        root, _ = recorded_project
+        assert main(["--project", str(root), "backfill", "ghost.py"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Tests for project configuration and discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FLOR_DIR_NAME, ProjectConfig
+from repro.errors import ConfigError
+
+
+class TestProjectConfig:
+    def test_paths_derived_from_root(self, tmp_path):
+        config = ProjectConfig(tmp_path, "myproj")
+        assert config.flor_dir == tmp_path / FLOR_DIR_NAME
+        assert config.db_path.name == "flor.db"
+        assert config.objects_dir.parent == config.flor_dir
+
+    def test_projid_defaults_to_directory_name(self, tmp_path):
+        config = ProjectConfig(tmp_path / "cool-project")
+        assert config.projid == "cool-project"
+
+    def test_projid_sanitization(self, tmp_path):
+        config = ProjectConfig(tmp_path, "my project!name")
+        assert " " not in config.projid
+        assert "!" not in config.projid
+
+    def test_invalid_projid_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ProjectConfig(tmp_path, "   ")
+
+    def test_ensure_layout_creates_directories(self, tmp_path):
+        config = ProjectConfig(tmp_path / "fresh", "p").ensure_layout()
+        assert config.flor_dir.is_dir()
+        assert config.objects_dir.is_dir()
+        assert config.checkpoints_dir.is_dir()
+        assert config.staging_dir.is_dir()
+
+    def test_config_is_frozen(self, tmp_path):
+        config = ProjectConfig(tmp_path, "p")
+        with pytest.raises(AttributeError):
+            config.projid = "other"
+
+
+class TestDiscovery:
+    def test_discover_finds_enclosing_project(self, tmp_path):
+        root = tmp_path / "project"
+        nested = root / "src" / "deep"
+        nested.mkdir(parents=True)
+        (root / FLOR_DIR_NAME).mkdir()
+        config = ProjectConfig.discover(nested)
+        assert config.root == root.resolve()
+
+    def test_discover_defaults_to_start_directory(self, tmp_path):
+        start = tmp_path / "standalone"
+        start.mkdir()
+        config = ProjectConfig.discover(start)
+        assert config.root == start.resolve()
+
+    def test_environment_override(self, tmp_path, monkeypatch):
+        override = tmp_path / "env-root"
+        override.mkdir()
+        monkeypatch.setenv("FLOR_PROJECT_DIR", str(override))
+        config = ProjectConfig.discover(tmp_path / "elsewhere")
+        assert config.root == override.resolve()

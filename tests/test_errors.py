@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            errors.ConfigError,
+            errors.DataFrameError,
+            errors.ColumnNotFoundError,
+            errors.LengthMismatchError,
+            errors.DatabaseError,
+            errors.SchemaError,
+            errors.VersioningError,
+            errors.ObjectNotFoundError,
+            errors.CommitNotFoundError,
+            errors.RecordingError,
+            errors.ReplayError,
+            errors.CheckpointError,
+            errors.PropagationError,
+            errors.BuildError,
+            errors.CycleError,
+            errors.TargetNotFoundError,
+            errors.PipelineError,
+            errors.ModelError,
+            errors.WebAppError,
+            errors.RouteNotFoundError,
+            errors.GovernanceError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, errors.ReproError)
+
+    def test_specialized_errors_derive_from_their_domain(self):
+        assert issubclass(errors.ColumnNotFoundError, errors.DataFrameError)
+        assert issubclass(errors.SchemaError, errors.DatabaseError)
+        assert issubclass(errors.CycleError, errors.BuildError)
+        assert issubclass(errors.RouteNotFoundError, errors.WebAppError)
+
+    def test_column_not_found_message_lists_available(self):
+        error = errors.ColumnNotFoundError("acc", ("loss", "recall"))
+        assert "acc" in str(error)
+        assert "loss" in str(error)
+
+    def test_route_not_found_records_path_and_method(self):
+        error = errors.RouteNotFoundError("/missing", "POST")
+        assert error.path == "/missing"
+        assert "POST /missing" in str(error)
+
+    def test_catching_repro_error_catches_domain_errors(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BuildError("boom")

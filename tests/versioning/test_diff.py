@@ -1,0 +1,115 @@
+"""Tests for the Myers line diff and patch application."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.versioning.diff import DiffOp, Patch, diff_lines, diff_stats, matching_lines, unified_diff
+
+
+class TestDiffLines:
+    def test_identical_sequences_are_one_equal_block(self):
+        lines = ["a", "b", "c"]
+        ops = diff_lines(lines, lines)
+        assert [op.tag for op in ops] == ["equal"]
+        assert ops[0].a_end == 3
+
+    def test_pure_insertion(self):
+        ops = diff_lines(["a", "c"], ["a", "b", "c"])
+        tags = [op.tag for op in ops]
+        assert "insert" in tags
+        assert "delete" not in tags
+
+    def test_pure_deletion(self):
+        ops = diff_lines(["a", "b", "c"], ["a", "c"])
+        tags = [op.tag for op in ops]
+        assert "delete" in tags
+        assert "insert" not in tags
+
+    def test_replacement(self):
+        ops = diff_lines(["a", "x", "c"], ["a", "y", "c"])
+        assert any(op.tag == "replace" for op in ops)
+
+    def test_empty_inputs(self):
+        assert diff_lines([], []) == []
+        assert [op.tag for op in diff_lines([], ["a"])] == ["insert"]
+        assert [op.tag for op in diff_lines(["a"], [])] == ["delete"]
+
+    def test_ops_cover_both_sequences_contiguously(self):
+        a = ["1", "2", "3", "4"]
+        b = ["1", "x", "3", "5", "6"]
+        ops = diff_lines(a, b)
+        assert ops[0].a_start == 0 and ops[0].b_start == 0
+        assert ops[-1].a_end == len(a) and ops[-1].b_end == len(b)
+        for prev, nxt in zip(ops, ops[1:]):
+            assert prev.a_end == nxt.a_start
+            assert prev.b_end == nxt.b_start
+
+
+class TestMatchingLines:
+    def test_matches_are_content_equal(self):
+        a = ["def f():", "    x = 1", "    return x"]
+        b = ["def f():", "    x = 2", "    return x"]
+        pairs = matching_lines(a, b)
+        assert (0, 0) in pairs and (2, 2) in pairs
+        assert all(a[i] == b[j] for i, j in pairs)
+
+    def test_matches_are_monotonic(self):
+        a = [str(i) for i in range(20)]
+        b = [str(i) for i in range(0, 20, 2)] + ["x"]
+        pairs = matching_lines(a, b)
+        assert pairs == sorted(pairs)
+
+
+class TestDiffStats:
+    def test_counts(self):
+        stats = diff_stats(["a", "b", "c"], ["a", "c", "d"])
+        assert stats["unchanged"] == 2
+        assert stats["deleted"] == 1
+        assert stats["added"] == 1
+
+
+class TestUnifiedDiff:
+    def test_empty_for_identical_inputs(self):
+        assert unified_diff(["same"], ["same"]) == ""
+
+    def test_contains_markers_and_labels(self):
+        rendered = unified_diff(["old line"], ["new line"], a_label="old.py", b_label="new.py")
+        assert "--- old.py" in rendered
+        assert "+++ new.py" in rendered
+        assert "-old line" in rendered
+        assert "+new line" in rendered
+        assert "@@" in rendered
+
+
+class TestPatch:
+    def test_apply_reconstructs_new_side(self):
+        a = ["a", "b", "c", "d"]
+        b = ["a", "x", "c", "e", "f"]
+        assert Patch(a, b).apply(a) == b
+
+
+# ---------------------------------------------------------------- properties
+
+line_strategy = st.lists(st.sampled_from(["a", "b", "c", "def f():", "    return 1", ""]), max_size=30)
+
+
+@settings(max_examples=60)
+@given(line_strategy, line_strategy)
+def test_property_patch_roundtrip(a, b):
+    assert Patch(a, b).apply(a) == b
+
+
+@settings(max_examples=60)
+@given(line_strategy, line_strategy)
+def test_property_stats_are_consistent_with_lengths(a, b):
+    stats = diff_stats(a, b)
+    assert stats["unchanged"] + stats["deleted"] == len(a)
+    assert stats["unchanged"] + stats["added"] == len(b)
+
+
+@settings(max_examples=60)
+@given(line_strategy)
+def test_property_self_diff_is_all_equal(a):
+    assert diff_stats(a, a) == {"added": 0, "deleted": 0, "unchanged": len(a)}

@@ -1,0 +1,139 @@
+"""Tests for the minimal web framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RouteNotFoundError, WebAppError
+from repro.webapp.framework import (
+    HttpError,
+    JsonResponse,
+    Request,
+    Response,
+    Router,
+    TestClient,
+    WebApp,
+)
+
+
+@pytest.fixture()
+def app():
+    application = WebApp("test")
+
+    @application.route("/")
+    def home(_request):
+        return "<h1>home</h1>"
+
+    @application.route("/items/<item_id>")
+    def item(_request, item_id):
+        return JsonResponse({"id": item_id})
+
+    @application.route("/echo", methods=("POST",))
+    def echo(request):
+        return JsonResponse(request.get_json())
+
+    @application.route("/fail")
+    def fail(_request):
+        raise HttpError(418, "teapot")
+
+    @application.route("/tuple")
+    def tuple_result(_request):
+        return {"created": True}, 201
+
+    return application
+
+
+@pytest.fixture()
+def client(app):
+    return TestClient(app)
+
+
+class TestRouter:
+    def test_static_and_parameterized_resolution(self):
+        router = Router()
+        router.add("/a/b", lambda r: None)
+        router.add("/docs/<name>", lambda r, name: None)
+        _handler, params = router.resolve("GET", "/a/b")
+        assert params == {}
+        _handler, params = router.resolve("GET", "/docs/report.pdf")
+        assert params == {"name": "report.pdf"}
+
+    def test_method_mismatch_is_not_found(self):
+        router = Router()
+        router.add("/x", lambda r: None, methods=("POST",))
+        with pytest.raises(RouteNotFoundError):
+            router.resolve("GET", "/x")
+
+    def test_routes_listing(self, app):
+        listed = app.router.routes()
+        assert ("GET", "/") in listed
+        assert ("POST", "/echo") in listed
+
+
+class TestRequestResponse:
+    def test_json_parsing_and_errors(self):
+        request = Request("POST", "/", body=b'{"a": 1}')
+        assert request.get_json() == {"a": 1}
+        assert Request("POST", "/", body=b"").get_json() == {}
+        with pytest.raises(WebAppError):
+            Request("POST", "/", body=b"{broken").get_json()
+
+    def test_query_arg_access(self):
+        request = Request("GET", "/view", query={"name": "a.pdf"})
+        assert request.arg("name") == "a.pdf"
+        assert request.arg("missing", "default") == "default"
+
+    def test_response_ok_flag(self):
+        assert Response(status=204).ok
+        assert not Response(status=404).ok
+
+    def test_json_response_roundtrip(self):
+        response = JsonResponse({"x": [1, 2]})
+        assert response.json() == {"x": [1, 2]}
+        assert response.headers["Content-Type"] == "application/json"
+
+
+class TestDispatch:
+    def test_string_result_becomes_html_response(self, client):
+        response = client.get("/")
+        assert response.ok
+        assert "home" in response.body
+        assert response.headers["Content-Type"] == "text/html"
+
+    def test_path_params_passed_to_handler(self, client):
+        assert client.get("/items/42").json() == {"id": "42"}
+
+    def test_post_json_roundtrip(self, client):
+        assert client.post("/echo", json_body={"colors": [1, 2]}).json() == {"colors": [1, 2]}
+
+    def test_query_string_parsed(self, app, client):
+        @app.route("/search")
+        def search(request):
+            return JsonResponse({"q": request.arg("q")})
+
+        assert client.get("/search?q=hello&x=1").json() == {"q": "hello"}
+
+    def test_unknown_route_is_404(self, client):
+        response = client.get("/nope")
+        assert response.status == 404
+        assert "error" in response.json()
+
+    def test_http_error_maps_to_status(self, client):
+        response = client.get("/fail")
+        assert response.status == 418
+        assert response.json()["error"] == "teapot"
+
+    def test_tuple_result_sets_status(self, client):
+        response = client.get("/tuple")
+        assert response.status == 201
+        assert response.json() == {"created": True}
+
+
+class TestTemplates:
+    def test_register_and_render(self, app):
+        app.register_template("page.html", "<p>{{ message }}</p>")
+        assert app.render_template("page.html", message="hi") == "<p>hi</p>"
+
+    def test_unknown_template_raises(self, app):
+        with pytest.raises(WebAppError):
+            app.render_template("ghost.html")

@@ -1,0 +1,120 @@
+"""Tests for the PDF-parser feedback application (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docs.corpus import generate_corpus
+from repro.errors import WebAppError
+from repro.webapp.pdf_app import APP_FILENAME, PdfParserApp, create_app
+
+
+@pytest.fixture()
+def corpus():
+    return generate_corpus(num_documents=3, min_pages=3, max_pages=5, seed=4)
+
+
+@pytest.fixture()
+def app(free_session, corpus):
+    """App over a session that already holds featurization output."""
+    session = free_session
+    for doc in session.loop("document", [d.name for d in corpus], filename="featurize.py"):
+        document = corpus.get(doc)
+        for page in session.loop("page", range(len(document)), filename="featurize.py"):
+            session.log(
+                "first_page", 1 if document.pages[page].is_first_page else 0, filename="featurize.py"
+            )
+    session.commit("featurize")
+    return create_app(session, corpus)
+
+
+@pytest.fixture()
+def client(app):
+    return app.test_client()
+
+
+class TestRoutes:
+    def test_home_lists_all_documents(self, app, client):
+        response = client.get("/")
+        assert response.ok
+        for name in app.pdf_names:
+            assert name in response.body
+
+    def test_view_pdf_renders_pages_and_colors(self, app, client):
+        name = app.pdf_names[0]
+        response = client.get(f"/view-pdf?name={name}")
+        assert response.ok
+        assert name in response.body
+        assert "color" in response.body
+
+    def test_view_pdf_unknown_document_404(self, client):
+        assert client.get("/view-pdf?name=ghost.pdf").status == 404
+        assert client.get("/view-pdf").status == 404
+
+    def test_save_colors_roundtrip(self, app, client):
+        name = app.pdf_names[0]
+        colors = [0, 0, 1]
+        response = client.post("/save_colors", json_body={"pdf_name": name, "colors": colors})
+        assert response.status == 200
+        assert response.json()["message"] == "Colors saved"
+        assert app.get_colors(name)[: len(colors)] == colors
+
+    def test_save_colors_validates_payload(self, client):
+        assert client.post("/save_colors", json_body={"colors": "not-a-list"}).status == 400
+        assert client.post("/save_colors", json_body={"colors": ["a", "b"]}).status == 400
+
+
+class TestGetColors:
+    def test_fallback_colors_derived_from_first_page_flags(self, app):
+        # No expert feedback yet: colors come from the cumulative first-page count.
+        name = app.pdf_names[0]
+        colors = app.get_colors(name)
+        document = app.corpus.get(name)
+        assert len(colors) == len(document)
+        assert colors[0] == 0
+        assert all(isinstance(c, int) for c in colors)
+
+    def test_colors_without_any_logged_metadata(self, make_session, corpus):
+        app = PdfParserApp(make_session("bare"), corpus)
+        name = app.pdf_names[0]
+        colors = app.get_colors(name)
+        assert len(colors) == len(corpus.get(name))
+
+    def test_expert_feedback_overrides_derived_colors(self, app):
+        name = app.pdf_names[1]
+        expected = list(range(len(app.corpus.get(name))))
+        app.save_colors(name, expected)
+        assert app.get_colors(name) == expected
+
+    def test_newest_feedback_wins(self, app):
+        name = app.pdf_names[0]
+        length = len(app.corpus.get(name))
+        app.save_colors(name, [0] * length)
+        app.save_colors(name, [5] * length)
+        assert app.get_colors(name) == [5] * length
+
+    def test_unknown_document_raises(self, app):
+        with pytest.raises(WebAppError):
+            app.get_colors("ghost.pdf")
+        with pytest.raises(WebAppError):
+            app.save_colors("ghost.pdf", [0])
+
+
+class TestProvenance:
+    def test_feedback_recorded_with_app_filename_and_committed(self, app):
+        name = app.pdf_names[0]
+        epochs_before = len(app.session.ts2vid.all(app.session.projid))
+        app.save_colors(name, [0, 1, 2])
+        epochs_after = len(app.session.ts2vid.all(app.session.projid))
+        assert epochs_after == epochs_before + 1
+        records = [r for r in app.session.logs.all(app.session.projid) if r.value_name == "page_color"]
+        assert records
+        assert all(r.filename == APP_FILENAME for r in records)
+
+    def test_feedback_is_joinable_with_featurization(self, app):
+        name = app.pdf_names[0]
+        app.save_colors(name, [3, 3, 4])
+        frame = app.session.dataframe("first_page", "page_color")
+        rows = frame[frame.document_value == name]
+        assert not rows.empty
+        assert set(rows["page_color"].dropna().to_list()) <= {3, 4}

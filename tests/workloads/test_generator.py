@@ -1,0 +1,81 @@
+"""Tests for the benchmark workload generators."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.workloads import (
+    LoggingWorkload,
+    PipelineWorkload,
+    TrainingWorkload,
+    VersionedScriptWorkload,
+    populate_logs,
+)
+
+
+class TestLoggingWorkload:
+    def test_populate_writes_expected_record_count(self, session):
+        workload = LoggingWorkload(runs=2, loops_per_run=5, values_per_loop=3)
+        written = workload.populate(session)
+        assert written == workload.record_count == 30
+        assert session.logs.count() == 30
+        assert session.loops.count() == 10
+
+    def test_populated_logs_are_queryable(self, session):
+        populate_logs(session, runs=2, loops_per_run=3, values_per_loop=2)
+        frame = session.dataframe("metric_0", "metric_1")
+        assert len(frame) == 6
+        assert frame["tstamp"].nunique() == 2
+
+
+class TestTrainingWorkload:
+    def test_instrumented_run_records_metrics(self, make_session):
+        session = make_session("train")
+        workload = TrainingWorkload(samples=120, epochs=2, batch_size=32)
+        result = workload.run(session, use_flor=True)
+        assert len(result.accuracies) == 2
+        assert len(session.dataframe("acc")) == 2
+        assert len(session.ts2vid.all(session.projid)) == 1
+
+    def test_baseline_run_records_nothing(self, make_session):
+        session = make_session("baseline")
+        workload = TrainingWorkload(samples=120, epochs=2)
+        workload.run(session, use_flor=False)
+        assert session.logs.count() == 0
+
+
+class TestVersionedScriptWorkload:
+    def test_sources_parse_and_differ_across_versions(self):
+        workload = VersionedScriptWorkload(versions=3)
+        sources = [workload.source_for_version(v) for v in range(3)]
+        for source in sources:
+            ast.parse(source)
+        assert len(set(sources)) == 3
+
+    def test_hindsight_source_adds_weight_logging(self):
+        workload = VersionedScriptWorkload(versions=3)
+        assert "weight" not in workload.source_for_version(2)
+        hindsight = workload.hindsight_source()
+        ast.parse(hindsight)
+        assert 'flor.log("weight"' in hindsight
+
+    def test_record_all_versions_commits_each_version(self, make_session):
+        session = make_session("versions")
+        workload = VersionedScriptWorkload(versions=3, epochs=2, steps=2)
+        vids = workload.record_all_versions(session)
+        assert len(vids) == len(set(vids)) == 3
+        assert len(session.ts2vid.all(session.projid)) == 3
+        assert len(session.dataframe("loss")) == 3 * 2 * 2
+
+
+class TestPipelineWorkload:
+    def test_build_executor_runs_full_pipeline(self, make_session, tmp_path):
+        session = make_session("pipe")
+        workload = PipelineWorkload(documents=3, max_pages=4, epochs=1)
+        executor, pipeline = workload.build_executor(session, tmp_path / "build")
+        report = executor.build("run")
+        assert report.executed == ["process_pdfs", "featurize", "train", "infer", "run"]
+        assert pipeline.state.app is not None
+        assert executor.build("run").executed == []
