@@ -1,0 +1,57 @@
+"""T7 — Parallel build speedup on a synthetic wide DAG.
+
+The Figure 2 pipeline is a chain, so its critical path hides the scheduler;
+this benchmark uses :class:`WideDagWorkload` — ``width`` independent stages
+fanning into one goal — where a wavefront scheduler with ``jobs=N`` should
+approach an ``N``-fold speedup over ``jobs=1``.  Each stage sleeps for a
+fixed interval (I/O-shaped work that releases the GIL), so measured time is
+pure scheduling behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.workloads import WideDagWorkload
+
+WIDTH = 16
+STAGE_SECONDS = 0.02
+JOBS = 4
+
+
+def test_parallel_build_speedup(benchmark, tmp_path):
+    workload = WideDagWorkload(width=WIDTH, stage_seconds=STAGE_SECONDS)
+
+    serial_executor = workload.build_executor(tmp_path / "serial", jobs=1)
+    start = time.perf_counter()
+    serial = serial_executor.build("all")
+    serial_seconds = time.perf_counter() - start
+    assert len(serial.executed) == WIDTH + 1
+
+    parallel_executor = workload.build_executor(tmp_path / "parallel", jobs=JOBS)
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: parallel_executor.build("all", force=True), rounds=1, iterations=1
+    )
+    parallel_seconds = time.perf_counter() - start
+    assert len(parallel.executed) == WIDTH + 1
+    assert parallel.executed[-1] == "all"  # the fan-in goal completes last
+
+    speedup = serial_seconds / parallel_seconds
+    report(
+        f"T7: {WIDTH}-wide DAG, {STAGE_SECONDS * 1000:.0f}ms per stage",
+        [
+            {"jobs": 1, "stages": len(serial.executed), "seconds": serial_seconds, "speedup": 1.0},
+            {
+                "jobs": JOBS,
+                "stages": len(parallel.executed),
+                "seconds": parallel_seconds,
+                "speedup": speedup,
+            },
+        ],
+    )
+    # Ideal speedup is JOBS; require at least half of it to absorb pool
+    # start-up and scheduling overhead on loaded CI machines.
+    assert speedup >= JOBS / 2, f"jobs={JOBS} build not faster: {speedup:.2f}x"

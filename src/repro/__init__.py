@@ -17,7 +17,11 @@ Subpackages
 ``repro.relational``  the SQLite data model of Figure 1
 ``repro.dataframe``   a mini dataframe engine (pandas substitute)
 ``repro.versioning``  a content-addressed version store (git substitute)
-``repro.build``       a Make-like incremental build substrate
+``repro.build``       a Make-like incremental build substrate (make substitute):
+                      Makefile parsing, a validated build DAG, staleness-aware
+                      execution with in-process or shell recipes, a parallel
+                      wavefront scheduler (``jobs=N``), and per-version
+                      recording of the dependency DAG into ``build_deps``
 ``repro.ml``          a NumPy training substrate (torch substitute)
 ``repro.docs``        a synthetic document corpus and featurization
 ``repro.mlops``       feature-store / model-registry / label-store roles

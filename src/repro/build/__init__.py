@@ -1,0 +1,71 @@
+"""A Make-like incremental build substrate (the paper's Figure 2 workflow).
+
+FlorDB's demo is a Make-driven ML pipeline: a Makefile names the stages
+(``process_pdfs`` → ``featurize`` → ``train`` → ``infer`` → ``run``), and
+every build records the per-version dependency DAG into the relational
+layer's ``build_deps`` table so that "which inputs produced this model?" is
+a SQL question.  This subpackage supplies the build half of that story in
+three layers:
+
+``makefile``
+    :func:`~repro.build.makefile.parse_makefile` parses the demo's Makefile
+    dialect — targets, prerequisites, tab-indented recipes, comments,
+    continuations and ``.PHONY`` — into ordered :class:`Rule` objects.
+``dag``
+    :class:`~repro.build.dag.BuildGraph` is the validated dependency DAG:
+    direct ``dependencies()``, reverse ``dependents()``, final-goal
+    ``leaves()``, deterministic topological ordering, and eager cycle
+    detection raising :class:`~repro.errors.CycleError`.
+``executor`` / ``scheduler``
+    :class:`~repro.build.executor.BuildExecutor` runs only stale targets
+    (mtime + content-hash fingerprints persisted under the work directory),
+    binds targets to in-process pipeline callables via
+    :class:`~repro.build.executor.CallableRunner` (shell recipes as the
+    fallback), commits each effective build and records its DAG per version.
+    :class:`~repro.build.scheduler.ParallelScheduler` executes independent
+    targets concurrently (``jobs=N``) with a wavefront/ready-queue design.
+
+Typical usage::
+
+    from repro.build import BuildExecutor, CallableRunner, parse_makefile
+
+    executor = BuildExecutor(
+        parse_makefile(makefile_text),
+        workdir="build",
+        runner=CallableRunner({"train": pipeline.train, ...}),
+        session=session,
+    )
+    report = executor.build("run", jobs=4)   # report.executed, report.vid
+
+The CLI exposes the same machinery as ``python -m repro.cli build <target>
+--jobs N --force`` for Makefiles with plain shell recipes.
+"""
+
+from .dag import BuildGraph
+from .executor import (
+    BuildExecutor,
+    BuildReport,
+    CallableRunner,
+    Runner,
+    ShellRunner,
+    TargetResult,
+    fingerprint_path,
+)
+from .makefile import Makefile, Rule, load_makefile, parse_makefile
+from .scheduler import ParallelScheduler
+
+__all__ = [
+    "Makefile",
+    "Rule",
+    "parse_makefile",
+    "load_makefile",
+    "BuildGraph",
+    "BuildExecutor",
+    "BuildReport",
+    "TargetResult",
+    "CallableRunner",
+    "ShellRunner",
+    "Runner",
+    "ParallelScheduler",
+    "fingerprint_path",
+]

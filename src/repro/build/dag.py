@@ -1,0 +1,182 @@
+"""The build dependency graph behind the demo pipeline (Figure 2's DAG).
+
+A :class:`BuildGraph` is a thin, validated view over parsed Makefile rules.
+Nodes are build *targets* (have a rule) and *sources* (plain files that only
+appear as prerequisites); edges point from a target to what it depends on.
+The graph is validated eagerly — constructing one over a cyclic Makefile
+raises :class:`~repro.errors.CycleError` — so every consumer downstream
+(executor, scheduler, benchmarks) can assume a DAG.
+
+The shape follows ACORN-style control-plane DAG abstractions: the graph only
+answers reachability/ordering questions; execution policy (staleness,
+parallelism) lives in :mod:`repro.build.executor` and
+:mod:`repro.build.scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import CycleError, TargetNotFoundError
+from .makefile import Makefile, Rule
+
+
+class BuildGraph:
+    """Dependency DAG over Makefile rules.
+
+    Accepts either a parsed :class:`~repro.build.makefile.Makefile` or any
+    iterable of :class:`~repro.build.makefile.Rule` objects.  Declaration
+    order is preserved everywhere: ``dependencies()`` returns prerequisites
+    as written, and topological orders are deterministic.
+    """
+
+    def __init__(self, rules: Makefile | Iterable[Rule]):
+        if isinstance(rules, Makefile):
+            rules = list(rules)
+        else:
+            rules = list(rules)
+        self._rules: dict[str, Rule] = {rule.target: rule for rule in rules}
+        self._deps: dict[str, tuple[str, ...]] = {
+            rule.target: rule.prerequisites for rule in rules
+        }
+        self._dependents: dict[str, list[str]] = {target: [] for target in self._rules}
+        for rule in rules:
+            for dep in rule.prerequisites:
+                self._dependents.setdefault(dep, []).append(rule.target)
+        self._check_acyclic()
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def targets(self) -> list[str]:
+        """Every node with a rule, in declaration order."""
+        return list(self._rules)
+
+    def rule(self, target: str) -> Rule:
+        try:
+            return self._rules[target]
+        except KeyError:
+            raise TargetNotFoundError(target, tuple(self._rules)) from None
+
+    def is_target(self, node: str) -> bool:
+        return node in self._rules
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._dependents
+
+    def sources(self) -> list[str]:
+        """Plain-file nodes: prerequisites that no rule builds."""
+        return [node for node in self._dependents if node not in self._rules]
+
+    def dependencies(self, node: str) -> list[str]:
+        """Direct prerequisites of ``node``, in declaration order.
+
+        Source nodes have no prerequisites; an unknown node raises
+        :class:`~repro.errors.TargetNotFoundError`.
+        """
+        if node in self._rules:
+            return list(self._deps[node])
+        if node in self._dependents:
+            return []
+        raise TargetNotFoundError(node, tuple(self._rules))
+
+    def dependents(self, node: str) -> list[str]:
+        """Targets that directly depend on ``node``."""
+        if node not in self._dependents:
+            raise TargetNotFoundError(node, tuple(self._rules))
+        return list(self._dependents[node])
+
+    def leaves(self) -> list[str]:
+        """Targets nothing depends on — the build's final goals (e.g. ``run``)."""
+        return [target for target in self._rules if not self._dependents[target]]
+
+    # --------------------------------------------------------------- ordering
+    def closure(self, goal: str) -> set[str]:
+        """Every node (targets and sources) reachable from ``goal``."""
+        if goal not in self._dependents and goal not in self._rules:
+            raise TargetNotFoundError(goal, tuple(self._rules))
+        seen: set[str] = set()
+        stack = [goal]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._deps.get(node, ()))
+        return seen
+
+    def topological_order(self, goal: str | None = None) -> list[str]:
+        """Dependencies-first order of ``goal``'s closure (or the whole graph).
+
+        Sources sort before the targets that consume them; ties follow
+        declaration order, so repeated calls return identical lists.
+        """
+        if goal is None:
+            roots = list(self._rules)
+        else:
+            if goal not in self._dependents and goal not in self._rules:
+                raise TargetNotFoundError(goal, tuple(self._rules))
+            roots = [goal]
+        order: list[str] = []
+        seen: set[str] = set()
+        for root in roots:
+            self._postorder(root, seen, order)
+        return order
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.topological_order())
+
+    def _postorder(self, node: str, seen: set[str], order: list[str]) -> None:
+        """Iterative DFS post-order (deep Makefile chains must not blow the stack)."""
+        stack: list[tuple[str, Iterator[str]]] = [(node, iter(self._deps.get(node, ())))]
+        if node in seen:
+            return
+        on_stack = {node}
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child in seen or child in on_stack:
+                    continue
+                stack.append((child, iter(self._deps.get(child, ()))))
+                on_stack.add(child)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_stack.discard(current)
+                if current not in seen:
+                    seen.add(current)
+                    order.append(current)
+
+    # ------------------------------------------------------------- validation
+    def _check_acyclic(self) -> None:
+        """Depth-first cycle check; raises :class:`CycleError` with the path."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in self._dependents}
+        for start in self._rules:
+            if color[start] != WHITE:
+                continue
+            path: list[str] = []
+            stack: list[tuple[str, Iterator[str]]] = [(start, iter(self._deps.get(start, ())))]
+            color[start] = GRAY
+            path.append(start)
+            while stack:
+                current, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color.get(child, WHITE) == GRAY:
+                        cycle_start = path.index(child)
+                        raise CycleError(tuple(path[cycle_start:]) + (child,))
+                    if color.get(child, WHITE) == WHITE:
+                        color[child] = GRAY
+                        path.append(child)
+                        stack.append((child, iter(self._deps.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    color[current] = BLACK
+
+
+__all__ = ["BuildGraph"]

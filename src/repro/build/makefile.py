@@ -1,0 +1,195 @@
+"""Parser for the Makefile dialect used by the paper's demo pipeline.
+
+The dialect is the one emitted by :mod:`repro.workloads.generator` and shown
+in Figure 4 of the paper: rule lines (``target: prerequisites``), tab-indented
+recipe lines (with GNU make's ``@`` silent and ``-`` ignore-errors prefixes),
+``#`` comments, blank lines, backslash continuations and ``.PHONY``
+declarations.  Variables, pattern rules and functions are intentionally out of
+scope — the demo never uses them, and keeping the grammar small keeps the
+parser auditable.
+
+Duplicate rules follow GNU make semantics: prerequisites from every
+declaration are merged in order, and when two declarations both carry a
+recipe the later one wins (a warning is recorded on the parsed
+:class:`Makefile` instead of printed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import MakefileError, TargetNotFoundError
+
+#: Special targets (GNU make chapter 4.8) that configure parsing instead of
+#: declaring a buildable rule.  Only ``.PHONY`` carries meaning here; the rest
+#: are accepted and ignored so real-world Makefiles don't trip the parser.
+_SPECIAL_TARGETS = {".PHONY", ".SUFFIXES", ".DEFAULT", ".PRECIOUS", ".SILENT", ".IGNORE"}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One Makefile rule: a target, its prerequisites and its recipe."""
+
+    target: str
+    prerequisites: tuple[str, ...] = ()
+    recipe: tuple[str, ...] = ()
+    lineno: int = 0
+    phony: bool = False
+
+
+@dataclass
+class Makefile:
+    """An ordered collection of parsed rules.
+
+    Declaration order is preserved: it determines the default goal (the first
+    target, like make) and gives :class:`~repro.build.dag.BuildGraph` a
+    deterministic traversal order.
+    """
+
+    rules: dict[str, Rule] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+    path: str | None = None
+
+    @property
+    def targets(self) -> list[str]:
+        return list(self.rules)
+
+    @property
+    def default_target(self) -> str | None:
+        """The first declared target — what bare ``make`` would build."""
+        return next(iter(self.rules), None)
+
+    def get(self, target: str) -> Rule:
+        try:
+            return self.rules[target]
+        except KeyError:
+            raise TargetNotFoundError(target, tuple(self.rules)) from None
+
+    def __contains__(self, target: str) -> bool:
+        return target in self.rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules.values())
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def parse_makefile(text: str, path: str | None = None) -> Makefile:
+    """Parse Makefile ``text`` into a :class:`Makefile`.
+
+    ``path`` is only used to prefix error messages, mirroring make's
+    ``Makefile:12: *** missing separator`` style.
+    """
+    makefile = Makefile(path=path)
+    phony: set[str] = set()
+    current: tuple[str, ...] = ()
+    # True until the current declaration contributes its first recipe line;
+    # used to detect (and warn about) GNU-make-style recipe overrides when a
+    # target is declared twice and both declarations carry recipes.
+    awaiting_recipe = False
+
+    for lineno, line in _logical_lines(text):
+        if line.startswith("\t"):
+            recipe_line = line[1:].strip()
+            if not recipe_line or recipe_line.startswith("#"):
+                continue
+            if not current:
+                raise MakefileError(
+                    "recipe commences before first target", lineno=lineno, path=path
+                )
+            # A multi-target rule gives the same recipe to every target.
+            for target in current:
+                rule = makefile.rules[target]
+                if awaiting_recipe and rule.recipe:
+                    makefile.warnings.append(
+                        f"{path or 'Makefile'}:{lineno}: overriding recipe for target {target!r}"
+                    )
+                    rule = replace(rule, recipe=())
+                makefile.rules[target] = replace(rule, recipe=rule.recipe + (recipe_line,))
+            awaiting_recipe = False
+            continue
+
+        stripped = _strip_comment(line).strip()
+        if not stripped:
+            continue
+        if ":" not in stripped:
+            raise MakefileError(
+                f"missing separator in {stripped!r} (expected 'target: prerequisites')",
+                lineno=lineno,
+                path=path,
+            )
+        lhs, _, rhs = stripped.partition(":")
+        targets = lhs.split()
+        prerequisites = tuple(rhs.split())
+        if not targets:
+            raise MakefileError("rule has no target", lineno=lineno, path=path)
+
+        special = [t for t in targets if t in _SPECIAL_TARGETS]
+        if special:
+            if ".PHONY" in special:
+                phony.update(prerequisites)
+            current = ()
+            awaiting_recipe = False
+            continue
+
+        for target in targets:
+            rule = Rule(target=target, prerequisites=prerequisites, lineno=lineno)
+            existing = makefile.rules.get(target)
+            if existing is not None:
+                merged = existing.prerequisites + tuple(
+                    p for p in prerequisites if p not in existing.prerequisites
+                )
+                rule = replace(existing, prerequisites=merged, lineno=existing.lineno)
+            makefile.rules[target] = rule
+        current = tuple(targets)
+        awaiting_recipe = True
+
+    if phony:
+        for target in phony:
+            if target in makefile.rules:
+                makefile.rules[target] = replace(makefile.rules[target], phony=True)
+    return makefile
+
+
+def load_makefile(path: str | Path) -> Makefile:
+    """Parse the Makefile at ``path`` (errors mention the file name)."""
+    path = Path(path)
+    if not path.is_file():
+        raise MakefileError(f"no such Makefile: {path}", path=str(path))
+    return parse_makefile(path.read_text(), path=str(path))
+
+
+def _logical_lines(text: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(lineno, line)`` pairs with backslash continuations joined.
+
+    The line number reported for a joined line is where it started, which is
+    what a user fixing the Makefile wants to see.
+    """
+    pending: list[str] = []
+    start = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if raw.endswith("\\"):
+            if not pending:
+                start = lineno
+            pending.append(raw[:-1])
+            continue
+        if pending:
+            pending.append(raw)
+            yield start, " ".join(part.strip("\t ") if i else part for i, part in enumerate(pending))
+            pending = []
+            continue
+        yield lineno, raw
+    if pending:
+        yield start, " ".join(part.strip("\t ") if i else part for i, part in enumerate(pending))
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment from a non-recipe line."""
+    index = line.find("#")
+    return line if index < 0 else line[:index]
+
+
+__all__ = ["Rule", "Makefile", "parse_makefile", "load_makefile"]

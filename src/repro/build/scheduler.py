@@ -1,0 +1,109 @@
+"""Wavefront scheduling of independent build targets over a thread pool.
+
+Given a deps-first plan (the stale subset of a :class:`BuildGraph`), the
+scheduler runs every target whose in-plan dependencies have completed,
+``jobs`` at a time.  This is the classic ready-queue/wavefront design: a
+target enters the ready queue the moment its last in-plan dependency
+finishes, so a wide DAG keeps all workers busy while a deep chain degrades
+gracefully to sequential execution.
+
+Threads (not processes) are the right tool here: recipe work is either an
+in-process Python callable operating on shared pipeline state or a shell
+subprocess, and both release the GIL while the interesting work happens.
+
+Failure semantics match ``make -k``'s *non*-keep-going default: the first
+failing target stops new submissions, in-flight targets are drained, every
+target downstream of the failure is left unbuilt, and the original exception
+propagates (wrapped in :class:`~repro.errors.BuildError` when it is not
+already a :class:`~repro.errors.ReproError`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Callable, Sequence
+
+from ..errors import BuildError, CycleError, ReproError
+from .dag import BuildGraph
+
+
+class ParallelScheduler:
+    """Run plan targets respecting DAG order, ``jobs`` at a time."""
+
+    def __init__(self, graph: BuildGraph, jobs: int = 1):
+        if jobs < 1:
+            raise BuildError(f"jobs must be >= 1, got {jobs}")
+        self.graph = graph
+        self.jobs = jobs
+
+    def run(self, plan: Sequence[str], execute: Callable[[str], None]) -> list[str]:
+        """Execute every target in ``plan``; returns them in completion order.
+
+        ``plan`` must be topologically sorted (dependencies first), which is
+        what :meth:`BuildGraph.topological_order` produces.  With ``jobs=1``
+        execution is strictly sequential in plan order, so single-job builds
+        are fully deterministic.
+        """
+        plan = list(plan)
+        if self.jobs == 1 or len(plan) <= 1:
+            for target in plan:
+                try:
+                    execute(target)
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise BuildError(f"target {target!r} failed: {exc}") from exc
+            return plan
+        return self._run_parallel(plan, execute)
+
+    def _run_parallel(self, plan: Sequence[str], execute: Callable[[str], None]) -> list[str]:
+        plan_set = set(plan)
+        remaining = {
+            target: {dep for dep in self.graph.dependencies(target) if dep in plan_set}
+            for target in plan
+        }
+        dependents = {target: [] for target in plan}
+        for target, deps in remaining.items():
+            for dep in deps:
+                dependents[dep].append(target)
+
+        ready: deque[str] = deque(t for t in plan if not remaining[t])
+        completed: list[str] = []
+        running: dict[Future, str] = {}
+        failed: tuple[str, BaseException] | None = None
+
+        with ThreadPoolExecutor(max_workers=self.jobs, thread_name_prefix="repro-build") as pool:
+            while ready or running:
+                while ready and failed is None:
+                    target = ready.popleft()
+                    running[pool.submit(execute, target)] = target
+                if not running:
+                    break
+                done, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in done:
+                    target = running.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        failed = failed or (target, exc)
+                        continue
+                    completed.append(target)
+                    for dependent in dependents[target]:
+                        remaining[dependent].discard(target)
+                        if not remaining[dependent]:
+                            ready.append(dependent)
+
+        if failed is not None:
+            target, exc = failed
+            if isinstance(exc, ReproError):
+                raise exc
+            raise BuildError(f"target {target!r} failed: {exc}") from exc
+        if len(completed) != len(plan):
+            # Unreachable for a validated DAG; guards against a plan that was
+            # not dependency-closed.
+            stuck = sorted(plan_set - set(completed))
+            raise CycleError(tuple(stuck))
+        return completed
+
+
+__all__ = ["ParallelScheduler"]

@@ -13,12 +13,14 @@ Subcommands
 ``sql``        run a read-only SQL statement (optionally over a pivoted view)
 ``stats``      table row counts and storage summary
 ``backfill``   multiversion hindsight logging for a script in the project
+``build``      incremental (optionally parallel) build of a Makefile target
 
 Example::
 
     python -m repro.cli --project ./myproj dataframe acc recall
     python -m repro.cli --project ./myproj sql "SELECT COUNT(*) FROM logs"
     python -m repro.cli --project ./myproj backfill train.py
+    python -m repro.cli --project ./myproj build run --jobs 4
 """
 
 from __future__ import annotations
@@ -121,6 +123,35 @@ def _cmd_backfill(args: argparse.Namespace) -> int:
         return 0 if all(v.ok for v in report.versions) else 1
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .build.executor import BuildExecutor
+    from .build.makefile import load_makefile
+
+    with _open_session(args) as session:
+        makefile_path = Path(args.makefile)
+        if not makefile_path.is_absolute():
+            makefile_path = session.config.root / makefile_path
+        makefile = load_makefile(makefile_path)
+        executor = BuildExecutor(
+            makefile,
+            workdir=session.config.root,
+            session=None if args.no_record else session,
+            jobs=args.jobs,
+            materialize_missing=False,
+        )
+        report = executor.build(args.target, force=args.force)
+        for result in report.results:
+            status = "RUN   " if result.executed else "cached"
+            print(f"[{status}] {result.target:<20} {result.reason}")
+        print(
+            f"built {report.goal!r}: {len(report.executed)} executed, "
+            f"{len(report.cached)} cached, jobs={report.jobs}, {report.seconds:.3f}s"
+        )
+        if report.vid:
+            print(f"version: {report.vid}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flordb",
@@ -159,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--loop", default="epoch", help="loop name restricted by --epoch")
     sub.add_argument("--epoch", type=int, nargs="*", default=None, help="only replay these iterations")
     sub.set_defaults(func=_cmd_backfill)
+
+    sub = subparsers.add_parser("build", help="incrementally build a Makefile target")
+    sub.add_argument("target", nargs="?", default=None, help="target to build (default: first in the Makefile)")
+    sub.add_argument("--makefile", "-f", default="Makefile", help="Makefile path, relative to the project root")
+    sub.add_argument("--jobs", "-j", type=int, default=1, help="run up to N independent targets in parallel")
+    sub.add_argument("--force", action="store_true", help="rebuild every target regardless of staleness")
+    sub.add_argument("--no-record", action="store_true", help="do not commit or record build_deps for this build")
+    sub.set_defaults(func=_cmd_build)
     return parser
 
 

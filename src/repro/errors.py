@@ -76,12 +76,41 @@ class BuildError(ReproError):
     """Raised by the Make-like build substrate."""
 
 
+class MakefileError(BuildError):
+    """Raised when a Makefile cannot be parsed.
+
+    Carries the offending line number so CLI users get ``Makefile:7: ...``
+    style messages, matching what GNU make prints.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None, path: str | None = None):
+        self.lineno = lineno
+        self.path = path
+        location = f"{path or 'Makefile'}:{lineno}: " if lineno is not None else ""
+        super().__init__(f"{location}{message}")
+
+
 class CycleError(BuildError):
     """Raised when the dependency graph contains a cycle."""
+
+    def __init__(self, cycle: tuple[str, ...] = ()):
+        self.cycle = tuple(cycle)
+        message = "dependency graph contains a cycle"
+        if self.cycle:
+            message += ": " + " -> ".join(self.cycle)
+        super().__init__(message)
 
 
 class TargetNotFoundError(BuildError):
     """Raised when a requested build target is not defined."""
+
+    def __init__(self, target: str, known: tuple[str, ...] = ()):
+        self.target = target
+        self.known = tuple(known)
+        message = f"no rule to make target {target!r}"
+        if known:
+            message += f"; known targets: {', '.join(known)}"
+        super().__init__(message)
 
 
 class PipelineError(ReproError):

@@ -10,6 +10,7 @@ from .generator import (
     PipelineWorkload,
     TrainingWorkload,
     VersionedScriptWorkload,
+    WideDagWorkload,
     populate_logs,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "TrainingWorkload",
     "VersionedScriptWorkload",
     "PipelineWorkload",
+    "WideDagWorkload",
     "populate_logs",
 ]

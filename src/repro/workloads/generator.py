@@ -8,7 +8,9 @@ Four workload shapes cover the paper's evaluation surface:
 * :class:`VersionedScriptWorkload` — a script evolved over many committed
   versions with refactorings (propagation T3/A2, parallel replay T4),
 * :class:`PipelineWorkload` — the Make-driven multi-stage pipeline
-  (figures F2/F4, incremental build T6).
+  (figures F2/F4, incremental build T6),
+* :class:`WideDagWorkload` — a synthetic fan-out/fan-in build DAG whose
+  stages are pure compute, isolating the parallel scheduler (T7).
 """
 
 from __future__ import annotations
@@ -299,3 +301,54 @@ class PipelineWorkload:
             session=session,
         )
         return executor, pipeline
+
+
+@dataclass
+class WideDagWorkload:
+    """A fan-out/fan-in build DAG: ``width`` independent stages, one goal.
+
+    Every ``stage_NN`` target depends on a shared ``gen.py`` source and the
+    ``all`` goal fans them back in.  Stages burn ``stage_seconds`` of wall
+    clock in a callable that sleeps (I/O-shaped work, releasing the GIL), so
+    the workload isolates scheduler behaviour: a perfect ``jobs=N`` executor
+    finishes in ``width / N`` stage-times.  Used by the T7 benchmark to
+    demonstrate parallel speedup.
+    """
+
+    width: int = 12
+    stage_seconds: float = 0.02
+
+    def stage_names(self) -> list[str]:
+        return [f"stage_{i:02d}" for i in range(self.width)]
+
+    def makefile_text(self) -> str:
+        lines = [f"all: {' '.join(self.stage_names())}", "\t@echo all stages built", ""]
+        for name in self.stage_names():
+            lines.append(f"{name}: gen.py")
+            lines.append(f"\t@touch {name}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def build_executor(self, workdir: Path | str, *, session: Session | None = None, jobs: int = 1):
+        """An executor whose stages sleep for ``stage_seconds`` in-process."""
+        import time as _time
+
+        from ..build.executor import BuildExecutor, CallableRunner
+        from ..build.makefile import parse_makefile
+
+        def make_stage(name: str):
+            def stage() -> str:
+                _time.sleep(self.stage_seconds)
+                return name
+
+            return stage
+
+        callables = {name: make_stage(name) for name in self.stage_names()}
+        callables["all"] = lambda: None
+        return BuildExecutor(
+            parse_makefile(self.makefile_text()),
+            workdir=workdir,
+            runner=CallableRunner(callables),
+            session=session,
+            jobs=jobs,
+        )

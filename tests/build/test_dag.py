@@ -1,0 +1,110 @@
+"""Tests for the build dependency graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.build.dag import BuildGraph
+from repro.build.makefile import Rule, parse_makefile
+from repro.errors import CycleError, ReproError, TargetNotFoundError
+
+DIAMOND = """\
+final: left right
+\t@echo done
+left: base extra.txt
+\t@touch left
+right: base
+\t@touch right
+base: seed.txt
+\t@touch base
+"""
+
+
+@pytest.fixture()
+def graph():
+    return BuildGraph(parse_makefile(DIAMOND))
+
+
+class TestStructure:
+    def test_dependencies_in_declaration_order(self, graph):
+        assert graph.dependencies("final") == ["left", "right"]
+        assert graph.dependencies("left") == ["base", "extra.txt"]
+
+    def test_source_nodes_have_no_dependencies(self, graph):
+        assert graph.dependencies("seed.txt") == []
+        assert sorted(graph.sources()) == ["extra.txt", "seed.txt"]
+
+    def test_dependents_reverse_edges(self, graph):
+        assert graph.dependents("base") == ["left", "right"]
+        assert graph.dependents("final") == []
+
+    def test_leaves_are_final_goals(self, graph):
+        assert graph.leaves() == ["final"]
+
+    def test_is_target_distinguishes_sources(self, graph):
+        assert graph.is_target("base")
+        assert not graph.is_target("seed.txt")
+        assert "seed.txt" in graph
+        assert "ghost" not in graph
+
+    def test_accepts_plain_rule_iterables(self):
+        rules = [Rule("b", ("a.txt",)), Rule("c", ("b",))]
+        graph = BuildGraph(rules)
+        assert graph.targets == ["b", "c"]
+        assert graph.leaves() == ["c"]
+
+
+class TestOrdering:
+    def test_topological_order_is_dependencies_first(self, graph):
+        order = graph.topological_order("final")
+        for target in ("left", "right", "base"):
+            for dep in graph.dependencies(target):
+                assert order.index(dep) < order.index(target)
+        assert order[-1] == "final"
+
+    def test_topological_order_is_deterministic(self, graph):
+        assert graph.topological_order("final") == graph.topological_order("final")
+
+    def test_goal_restricts_order_to_closure(self, graph):
+        order = graph.topological_order("right")
+        assert set(order) == {"seed.txt", "base", "right"}
+
+    def test_closure(self, graph):
+        assert graph.closure("left") == {"left", "base", "extra.txt", "seed.txt"}
+        assert graph.closure("final") == {
+            "final", "left", "right", "base", "extra.txt", "seed.txt",
+        }
+
+    def test_whole_graph_iteration(self, graph):
+        order = list(graph)
+        assert set(order) == graph.closure("final")
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-deep chain: a recursive DFS would hit Python's stack limit.
+        rules = [Rule(f"t{i}", (f"t{i - 1}",) if i else ()) for i in range(5000)]
+        graph = BuildGraph(rules)
+        order = graph.topological_order("t4999")
+        assert order[0] == "t0" and order[-1] == "t4999"
+
+
+class TestValidation:
+    def test_cycle_detected_at_construction(self):
+        with pytest.raises(CycleError) as excinfo:
+            BuildGraph(parse_makefile("a: b\n\t@echo a\nb: c\n\t@echo b\nc: a\n\t@echo c\n"))
+        assert set(excinfo.value.cycle) >= {"a", "b", "c"}
+
+    def test_self_loop_is_a_cycle(self):
+        with pytest.raises(CycleError):
+            BuildGraph([Rule("a", ("a",))])
+
+    def test_cycle_error_is_typed(self):
+        with pytest.raises(ReproError):
+            BuildGraph([Rule("a", ("a",))])
+
+    def test_unknown_node_raises(self, graph):
+        with pytest.raises(TargetNotFoundError, match="ghost"):
+            graph.dependencies("ghost")
+        with pytest.raises(TargetNotFoundError):
+            graph.topological_order("ghost")
+        with pytest.raises(TargetNotFoundError):
+            graph.closure("ghost")

@@ -1,0 +1,317 @@
+"""Tests for the incremental build executor."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.build.executor import (
+    BuildExecutor,
+    CallableRunner,
+    ShellRunner,
+    fingerprint_path,
+)
+from repro.build.makefile import parse_makefile
+from repro.errors import BuildError, TargetNotFoundError
+
+CHAIN = """\
+stage_a: input_a.txt
+\t@touch stage_a
+stage_b: stage_a input_b.txt
+\t@touch stage_b
+top: stage_b
+\t@echo done
+"""
+
+
+@pytest.fixture()
+def counting():
+    """A CallableRunner over CHAIN that counts per-target executions."""
+    counts: dict[str, int] = {}
+
+    def stage(name):
+        def run():
+            counts[name] = counts.get(name, 0) + 1
+
+        return run
+
+    runner = CallableRunner({t: stage(t) for t in ("stage_a", "stage_b", "top")})
+    return runner, counts
+
+
+def make_executor(tmp_path, runner=None, text=CHAIN, **kwargs):
+    return BuildExecutor(
+        parse_makefile(text), workdir=tmp_path / "build", runner=runner, **kwargs
+    )
+
+
+class TestIncrementalPaths:
+    def test_first_build_runs_everything_in_order(self, tmp_path, counting):
+        runner, counts = counting
+        executor = make_executor(tmp_path, runner)
+        report = executor.build("top")
+        assert report.executed == ["stage_a", "stage_b", "top"]
+        assert counts == {"stage_a": 1, "stage_b": 1, "top": 1}
+        assert all(r.reason == "never built" for r in report.results)
+
+    def test_second_build_is_fully_cached(self, tmp_path, counting):
+        runner, counts = counting
+        executor = make_executor(tmp_path, runner)
+        executor.build("top")
+        report = executor.build("top")
+        assert report.executed == []
+        assert report.cached == ["stage_a", "stage_b", "top"]
+        assert all(r.reason == "up to date" for r in report.results)
+
+    def test_force_rebuilds_everything(self, tmp_path, counting):
+        runner, counts = counting
+        executor = make_executor(tmp_path, runner)
+        executor.build("top")
+        report = executor.build("top", force=True)
+        assert report.executed == ["stage_a", "stage_b", "top"]
+        assert all(r.reason == "forced" for r in report.results)
+        assert counts["stage_a"] == 2
+
+    def test_changed_input_rebuilds_only_downstream(self, tmp_path, counting):
+        runner, counts = counting
+        executor = make_executor(tmp_path, runner)
+        executor.build("top")
+        (tmp_path / "build" / "input_b.txt").write_text("changed\n")
+        report = executor.build("top")
+        assert report.executed == ["stage_b", "top"]
+        assert counts["stage_a"] == 1
+        reasons = {r.target: r.reason for r in report.results}
+        assert reasons["stage_a"] == "up to date"
+        assert "input_b.txt" in reasons["stage_b"]
+        assert "stage_b" in reasons["top"]
+
+    def test_default_target_is_first_rule(self, tmp_path, counting):
+        runner, counts = counting
+        executor = make_executor(tmp_path, runner)
+        report = executor.build()
+        assert report.goal == "stage_a"
+        assert report.executed == ["stage_a"]
+
+    def test_state_survives_a_new_executor_instance(self, tmp_path, counting):
+        runner, _counts = counting
+        make_executor(tmp_path, runner).build("top")
+        fresh = make_executor(tmp_path, runner)
+        assert fresh.build("top").executed == []
+
+    def test_dependency_rebuilt_by_other_executor_invalidates(self, tmp_path, counting):
+        runner, _counts = counting
+        make_executor(tmp_path, runner).build("top")
+        # Another executor rebuilds just stage_a; our executor must notice.
+        make_executor(tmp_path, runner).build("stage_a", force=True)
+        report = make_executor(tmp_path, runner).build("top")
+        assert report.executed == ["stage_b", "top"]
+
+    def test_invalidate_forgets_target_state(self, tmp_path, counting):
+        runner, counts = counting
+        executor = make_executor(tmp_path, runner)
+        executor.build("top")
+        executor.invalidate("stage_b")
+        report = executor.build("top")
+        assert report.executed == ["stage_b", "top"]
+        executor.invalidate()
+        assert executor.build("top").executed == ["stage_a", "stage_b", "top"]
+
+    def test_unknown_target_raises(self, tmp_path, counting):
+        runner, _ = counting
+        with pytest.raises(TargetNotFoundError, match="ghost"):
+            make_executor(tmp_path, runner).build("ghost")
+
+    def test_phony_targets_always_run(self, tmp_path):
+        text = ".PHONY: clean\nclean:\n\t@touch cleaned\nout: in.txt\n\t@touch out\n"
+        calls = []
+        runner = CallableRunner({"clean": lambda: calls.append("clean")})
+        executor = make_executor(tmp_path, runner, text=text)
+        executor.build("clean")
+        report = executor.build("clean")
+        assert report.executed == ["clean"]
+        assert report.results[0].reason == "phony target"
+        assert calls == ["clean", "clean"]
+        # Non-phony targets still cache.
+        executor.build("out")
+        assert executor.build("out").executed == []
+
+
+class TestHashModes:
+    def _touch_only(self, path):
+        time.sleep(0.002)
+        path.touch()
+
+    def test_auto_mode_rebuilds_on_touch(self, tmp_path, counting):
+        runner, _ = counting
+        executor = make_executor(tmp_path, runner, hash_mode="auto")
+        executor.build("stage_a")
+        self._touch_only(tmp_path / "build" / "input_a.txt")
+        assert executor.build("stage_a").executed == ["stage_a"]
+
+    def test_content_mode_ignores_touch_without_change(self, tmp_path, counting):
+        runner, _ = counting
+        executor = make_executor(tmp_path, runner, hash_mode="content")
+        executor.build("stage_a")
+        self._touch_only(tmp_path / "build" / "input_a.txt")
+        assert executor.build("stage_a").executed == []
+        (tmp_path / "build" / "input_a.txt").write_text("new content\n")
+        assert executor.build("stage_a").executed == ["stage_a"]
+
+    def test_unknown_mode_rejected(self, tmp_path, counting):
+        runner, _ = counting
+        with pytest.raises(BuildError, match="hash mode"):
+            make_executor(tmp_path, runner, hash_mode="sha1")
+        with pytest.raises(BuildError, match="hash mode"):
+            fingerprint_path(tmp_path, mode="sha1")
+
+
+class TestMissingPrerequisites:
+    def test_materialized_as_stubs_by_default(self, tmp_path, counting):
+        runner, _ = counting
+        executor = make_executor(tmp_path, runner)
+        executor.build("top")
+        stub = tmp_path / "build" / "input_a.txt"
+        assert stub.exists()
+        assert "stub source" in stub.read_text()
+
+    def test_strict_mode_raises_naming_the_files(self, tmp_path, counting):
+        runner, _ = counting
+        executor = make_executor(tmp_path, runner, materialize_missing=False)
+        with pytest.raises(BuildError, match="input_a.txt"):
+            executor.build("top")
+
+    def test_strict_mode_passes_when_files_exist(self, tmp_path, counting):
+        runner, counts = counting
+        workdir = tmp_path / "build"
+        workdir.mkdir()
+        (workdir / "input_a.txt").write_text("a\n")
+        (workdir / "input_b.txt").write_text("b\n")
+        executor = make_executor(tmp_path, runner, materialize_missing=False)
+        assert executor.build("top").executed == ["stage_a", "stage_b", "top"]
+
+
+class TestRunners:
+    def test_shell_runner_executes_recipes(self, tmp_path):
+        executor = make_executor(
+            tmp_path, ShellRunner(echo=False), text="out: in.txt\n\t@cp in.txt out\n"
+        )
+        (tmp_path / "build").mkdir()
+        (tmp_path / "build" / "in.txt").write_text("payload\n")
+        executor.build("out")
+        assert (tmp_path / "build" / "out").read_text() == "payload\n"
+
+    def test_shell_runner_failure_raises_build_error(self, tmp_path):
+        executor = make_executor(tmp_path, ShellRunner(echo=False), text="out: in.txt\n\t@false\n")
+        with pytest.raises(BuildError, match="recipe for target 'out' failed"):
+            executor.build("out")
+
+    def test_shell_runner_dash_prefix_ignores_failure(self, tmp_path):
+        executor = make_executor(
+            tmp_path, ShellRunner(echo=False), text="out: in.txt\n\t-false\n\t@touch out\n"
+        )
+        assert executor.build("out").executed == ["out"]
+        assert (tmp_path / "build" / "out").exists()
+
+    def test_shell_runner_echoes_unless_silent(self, tmp_path, capfd):
+        executor = make_executor(
+            tmp_path, ShellRunner(), text="out: in.txt\n\techo visible\n\t@echo silent-cmd\n"
+        )
+        executor.build("out")
+        out = capfd.readouterr().out
+        assert "echo visible" in out  # the command line itself is echoed
+        assert "silent-cmd" in out  # output still shows
+        assert "@echo" not in out
+
+    def test_callable_runner_falls_back_to_shell(self, tmp_path):
+        ran = []
+        text = "bound: in.txt\n\t@false\nunbound: in.txt\n\t@touch unbound\n"
+        runner = CallableRunner({"bound": lambda: ran.append("bound")})
+        executor = make_executor(tmp_path, runner, text=text)
+        executor.build("bound")  # callable wins over the failing shell recipe
+        assert ran == ["bound"]
+        executor.build("unbound")  # no callable: the shell recipe runs
+        assert (tmp_path / "build" / "unbound").exists()
+
+    def test_failure_keeps_completed_state(self, tmp_path):
+        calls = []
+        text = "a: in.txt\n\t@true\nb: a\n\t@true\n"
+
+        def boom():
+            raise RuntimeError("stage exploded")
+
+        runner = CallableRunner({"a": lambda: calls.append("a"), "b": boom})
+        executor = make_executor(tmp_path, runner, text=text)
+        with pytest.raises(BuildError, match="stage exploded"):
+            executor.build("b")
+        # A fixed rerun resumes: stage a stays cached.
+        fixed = CallableRunner({"a": lambda: calls.append("a"), "b": lambda: calls.append("b")})
+        report = make_executor(tmp_path, fixed, text=text).build("b")
+        assert report.executed == ["b"]
+        assert calls == ["a", "b"]
+
+
+class TestSessionRecording:
+    def test_build_commits_and_records_dag(self, make_session, tmp_path):
+        session = make_session("bdeps")
+        runner = CallableRunner({t: (lambda: None) for t in ("stage_a", "stage_b", "top")})
+        executor = make_executor(tmp_path, runner, session=session)
+        report = executor.build("top")
+        assert report.vid is not None
+        rows = {r.target: r for r in session.build_deps.by_vid(report.vid)}
+        assert set(rows) == {"stage_a", "stage_b", "top"}
+        assert rows["stage_b"].deps == ("stage_a", "input_b.txt")
+        assert rows["top"].cmds == ("@echo done",)
+        assert not rows["top"].cached
+
+    def test_partial_rebuild_marks_cached_targets(self, make_session, tmp_path):
+        session = make_session("bdeps2")
+        # Track a source file so each build snapshots a distinct version.
+        tracked = session.config.root / "stages.py"
+        tracked.write_text("STAGES = 1\n")
+        session.track(tracked)
+        runner = CallableRunner({t: (lambda: None) for t in ("stage_a", "stage_b", "top")})
+        executor = make_executor(tmp_path, runner, session=session)
+        first = executor.build("top")
+        tracked.write_text("STAGES = 2\n")
+        (tmp_path / "build" / "input_b.txt").write_text("changed\n")
+        second = executor.build("top")
+        assert second.vid != first.vid
+        rows = {r.target: r for r in session.build_deps.by_vid(second.vid)}
+        assert rows["stage_a"].cached
+        assert not rows["stage_b"].cached
+        # The first version's DAG rows are untouched.
+        first_rows = {r.target: r for r in session.build_deps.by_vid(first.vid)}
+        assert not first_rows["stage_a"].cached
+
+    def test_unchanged_code_rebuild_updates_cached_flags_in_place(self, make_session, tmp_path):
+        # Committing an unchanged manifest reuses the head vid (several
+        # epochs map to one version), so the DAG rows for that vid are
+        # refreshed — build_deps.cached is the schema's one mutable column.
+        session = make_session("bdeps2b")
+        runner = CallableRunner({t: (lambda: None) for t in ("stage_a", "stage_b", "top")})
+        executor = make_executor(tmp_path, runner, session=session)
+        first = executor.build("top")
+        (tmp_path / "build" / "input_b.txt").write_text("changed\n")
+        second = executor.build("top")
+        assert second.vid == first.vid
+        rows = {r.target: r for r in session.build_deps.by_vid(second.vid)}
+        assert rows["stage_a"].cached
+        assert not rows["stage_b"].cached
+
+    def test_noop_build_reuses_last_vid_without_new_version(self, make_session, tmp_path):
+        session = make_session("bdeps3")
+        runner = CallableRunner({t: (lambda: None) for t in ("stage_a", "stage_b", "top")})
+        executor = make_executor(tmp_path, runner, session=session)
+        first = executor.build("top")
+        versions_before = len(session.ts2vid.all(session.projid))
+        second = executor.build("top")
+        assert second.vid == first.vid
+        assert len(session.ts2vid.all(session.projid)) == versions_before
+
+    def test_commit_records_root_target(self, make_session, tmp_path):
+        session = make_session("bdeps4")
+        runner = CallableRunner({t: (lambda: None) for t in ("stage_a", "stage_b", "top")})
+        make_executor(tmp_path, runner, session=session).build("top")
+        epochs = session.ts2vid.all(session.projid)
+        assert epochs[-1].root_target == "top"

@@ -1,0 +1,116 @@
+"""Tests for the Makefile parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.build.makefile import Makefile, Rule, load_makefile, parse_makefile
+from repro.errors import BuildError, MakefileError, ReproError, TargetNotFoundError
+
+PIPELINE = """\
+# The demo pipeline (Figure 4).
+process_pdfs: pdf_demux.py
+\t@python pdf_demux.py
+\t@touch process_pdfs
+
+featurize: process_pdfs featurize.py
+\t@python featurize.py
+
+run: featurize
+\t@echo "Starting app..."
+"""
+
+
+class TestParsing:
+    def test_targets_in_declaration_order(self):
+        makefile = parse_makefile(PIPELINE)
+        assert makefile.targets == ["process_pdfs", "featurize", "run"]
+        assert makefile.default_target == "process_pdfs"
+
+    def test_prerequisites_and_recipes(self):
+        makefile = parse_makefile(PIPELINE)
+        rule = makefile.get("featurize")
+        assert rule.prerequisites == ("process_pdfs", "featurize.py")
+        assert rule.recipe == ("@python featurize.py",)
+        assert makefile.get("process_pdfs").recipe == (
+            "@python pdf_demux.py",
+            "@touch process_pdfs",
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        makefile = parse_makefile(
+            "# leading comment\n\nout: in.txt  # trailing comment\n\n\t@touch out\n\n# done\n"
+        )
+        assert makefile.targets == ["out"]
+        assert makefile.get("out").prerequisites == ("in.txt",)
+        assert makefile.get("out").recipe == ("@touch out",)
+
+    def test_backslash_continuation_joins_prerequisites(self):
+        makefile = parse_makefile("all: a.txt \\\n     b.txt \\\n     c.txt\n\t@echo ok\n")
+        assert makefile.get("all").prerequisites == ("a.txt", "b.txt", "c.txt")
+
+    def test_multi_target_rule_shares_recipe(self):
+        makefile = parse_makefile("left right: base.txt\n\t@touch $@\n")
+        assert makefile.get("left").prerequisites == ("base.txt",)
+        assert makefile.get("right").recipe == ("@touch $@",)
+        assert makefile.get("left").recipe == ("@touch $@",)
+
+    def test_phony_targets_flagged(self):
+        makefile = parse_makefile(".PHONY: clean\nclean:\n\t@rm -f out\nbuild: in\n\t@touch build\n")
+        assert makefile.get("clean").phony
+        assert not makefile.get("build").phony
+
+    def test_empty_makefile(self):
+        makefile = parse_makefile("\n# only comments\n")
+        assert len(makefile) == 0
+        assert makefile.default_target is None
+
+
+class TestDuplicateTargets:
+    def test_prerequisites_merge_in_order(self):
+        makefile = parse_makefile("out: a\n\t@touch out\nout: b a\n")
+        assert makefile.get("out").prerequisites == ("a", "b")
+        assert makefile.get("out").recipe == ("@touch out",)
+        assert makefile.warnings == []
+
+    def test_later_recipe_wins_with_warning(self):
+        makefile = parse_makefile("out: a\n\t@echo first\nout: b\n\t@echo second\n")
+        assert makefile.get("out").recipe == ("@echo second",)
+        assert any("overriding recipe" in w for w in makefile.warnings)
+
+
+class TestErrors:
+    def test_recipe_before_any_target(self):
+        with pytest.raises(MakefileError, match="recipe commences before first target"):
+            parse_makefile("\t@echo orphan\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(MakefileError, match="Makefile:3"):
+            parse_makefile("# one\n# two\nnot a rule line\n")
+
+    def test_missing_separator(self):
+        with pytest.raises(MakefileError, match="missing separator"):
+            parse_makefile("just some words\n")
+
+    def test_makefile_error_is_a_build_error(self):
+        assert issubclass(MakefileError, BuildError)
+        assert issubclass(MakefileError, ReproError)
+
+    def test_unknown_target_lookup(self):
+        makefile = parse_makefile(PIPELINE)
+        with pytest.raises(TargetNotFoundError, match="ghost"):
+            makefile.get("ghost")
+
+    def test_load_makefile_missing_file(self, tmp_path):
+        with pytest.raises(MakefileError, match="no such Makefile"):
+            load_makefile(tmp_path / "Makefile")
+
+
+class TestLoadMakefile:
+    def test_round_trip_from_disk(self, tmp_path):
+        path = tmp_path / "Makefile"
+        path.write_text(PIPELINE)
+        makefile = load_makefile(path)
+        assert isinstance(makefile, Makefile)
+        assert makefile.targets == ["process_pdfs", "featurize", "run"]
+        assert all(isinstance(rule, Rule) for rule in makefile)

@@ -1,0 +1,96 @@
+"""Tests for the wavefront scheduler."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.build.dag import BuildGraph
+from repro.build.makefile import Rule, parse_makefile
+from repro.build.scheduler import ParallelScheduler
+from repro.errors import BuildError
+
+FAN = """\
+all: w0 w1 w2 w3
+\t@echo done
+w0: gen.py
+w1: gen.py
+w2: gen.py
+w3: gen.py
+"""
+
+
+@pytest.fixture()
+def fan_graph():
+    return BuildGraph(parse_makefile(FAN))
+
+
+class TestSequential:
+    def test_jobs_one_preserves_plan_order(self, fan_graph):
+        plan = ["w0", "w1", "w2", "w3", "all"]
+        executed = []
+        completed = ParallelScheduler(fan_graph, jobs=1).run(plan, executed.append)
+        assert completed == plan
+        assert executed == plan
+
+    def test_invalid_jobs_rejected(self, fan_graph):
+        with pytest.raises(BuildError, match="jobs"):
+            ParallelScheduler(fan_graph, jobs=0)
+
+
+class TestParallel:
+    def test_independent_targets_overlap(self, fan_graph):
+        # All 4 workers must be in flight simultaneously for the barrier to
+        # release; a sequential scheduler would deadlock (and time out).
+        barrier = threading.Barrier(4, timeout=10)
+
+        def execute(target):
+            if target != "all":
+                barrier.wait()
+
+        completed = ParallelScheduler(fan_graph, jobs=4).run(
+            ["w0", "w1", "w2", "w3", "all"], execute
+        )
+        assert set(completed) == {"w0", "w1", "w2", "w3", "all"}
+        assert completed[-1] == "all"
+
+    def test_dependencies_complete_before_dependents(self):
+        graph = BuildGraph(
+            [Rule("a", ()), Rule("b", ("a",)), Rule("c", ("a",)), Rule("d", ("b", "c"))]
+        )
+        order = []
+        lock = threading.Lock()
+
+        def execute(target):
+            with lock:
+                order.append(target)
+
+        ParallelScheduler(graph, jobs=3).run(["a", "b", "c", "d"], execute)
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("d") == 3
+
+    def test_failure_skips_dependents_and_propagates(self, fan_graph):
+        executed = []
+        lock = threading.Lock()
+
+        def execute(target):
+            if target == "w1":
+                raise RuntimeError("w1 exploded")
+            with lock:
+                executed.append(target)
+
+        with pytest.raises(BuildError, match="w1 exploded"):
+            ParallelScheduler(fan_graph, jobs=2).run(["w0", "w1", "w2", "w3", "all"], execute)
+        assert "all" not in executed  # downstream of the failure never ran
+
+    def test_repro_errors_propagate_untouched(self, fan_graph):
+        failure = BuildError("already typed")
+
+        def execute(target):
+            raise failure
+
+        with pytest.raises(BuildError) as excinfo:
+            ParallelScheduler(fan_graph, jobs=2).run(["w0", "w1"], execute)
+        assert excinfo.value is failure

@@ -87,6 +87,86 @@ class TestQueries:
         assert "no log names" in capsys.readouterr().err
 
 
+class TestBuild:
+    @pytest.fixture()
+    def make_project(self, tmp_path):
+        """A project directory with a shell-recipe Makefile."""
+        root = tmp_path / "buildproj"
+        root.mkdir()
+        (root / "in.txt").write_text("payload\n")
+        (root / "Makefile").write_text(
+            "out.txt: in.txt\n"
+            "\t@cp in.txt out.txt\n"
+            "final: out.txt\n"
+            "\t@touch final\n"
+        )
+        return root
+
+    def test_build_runs_shell_recipes(self, make_project, capsys):
+        root = make_project
+        assert main(["--project", str(root), "build", "final"]) == 0
+        out = capsys.readouterr().out
+        assert "RUN" in out and "built 'final': 2 executed" in out
+        assert (root / "out.txt").read_text() == "payload\n"
+        assert (root / "final").exists()
+
+    def test_second_build_is_cached(self, make_project, capsys):
+        root = make_project
+        main(["--project", str(root), "build", "final"])
+        capsys.readouterr()
+        assert main(["--project", str(root), "build", "final"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cached" in out
+
+    def test_force_and_jobs_flags(self, make_project, capsys):
+        root = make_project
+        main(["--project", str(root), "build", "final"])
+        capsys.readouterr()
+        assert main(["--project", str(root), "build", "final", "--force", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out and "jobs=2" in out
+
+    def test_default_target_is_first_rule(self, make_project, capsys):
+        root = make_project
+        assert main(["--project", str(root), "build"]) == 0
+        assert "built 'out.txt'" in capsys.readouterr().out
+
+    def test_build_records_version_and_deps(self, make_project, capsys):
+        from repro import ProjectConfig, Session
+
+        root = make_project
+        assert main(["--project", str(root), "build", "final"]) == 0
+        with Session(ProjectConfig(root)) as session:
+            latest = session.ts2vid.latest(session.projid)
+            assert latest is not None and latest.root_target == "final"
+            targets = {r.target for r in session.build_deps.by_vid(latest.vid)}
+        assert targets == {"out.txt", "final"}
+
+    def test_no_record_skips_versioning(self, make_project, capsys):
+        from repro import ProjectConfig, Session
+
+        root = make_project
+        assert main(["--project", str(root), "build", "final", "--no-record"]) == 0
+        with Session(ProjectConfig(root)) as session:
+            assert session.ts2vid.all(session.projid) == []
+
+    def test_unknown_target_fails_cleanly(self, make_project, capsys):
+        root = make_project
+        assert main(["--project", str(root), "build", "ghost"]) == 2
+        assert "no rule to make target" in capsys.readouterr().err
+
+    def test_missing_makefile_fails_cleanly(self, tmp_path, capsys):
+        root = tmp_path / "bare"
+        assert main(["--project", str(root), "build", "x"]) == 2
+        assert "no such Makefile" in capsys.readouterr().err
+
+    def test_missing_prerequisite_fails_cleanly(self, make_project, capsys):
+        root = make_project
+        (root / "in.txt").unlink()
+        assert main(["--project", str(root), "build", "final"]) == 2
+        assert "missing prerequisite" in capsys.readouterr().err
+
+
 class TestBackfill:
     def test_backfill_from_source_file(self, recorded_project, capsys, tmp_path):
         root, workload = recorded_project

@@ -1,0 +1,49 @@
+"""Smoke tests: every script in ``examples/`` runs cleanly under a tmpdir.
+
+The seed shipped an example (``pdf_pipeline.py``) that crashed on import of
+a missing module; this test exists so that an example referencing anything
+absent from the library fails the suite immediately.  Each script is copied
+into a temporary directory before running, so example state
+(``example_runs/``, ``.flor/``) never lands in the repository.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_scripts():
+    assert EXAMPLE_SCRIPTS, f"no example scripts found in {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_clean(script: Path, tmp_path):
+    copy = tmp_path / script.name
+    shutil.copy(script, copy)
+    env = {
+        "PATH": "/usr/bin:/bin",
+        "PYTHONPATH": str(REPO_ROOT / "src"),
+        "HOME": str(tmp_path),
+    }
+    result = subprocess.run(
+        [sys.executable, str(copy)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited with {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
