@@ -9,7 +9,9 @@ Reproduces Section 4.4 of the paper:
 4. the corrected labels are folded into a second training run, and the
    model registry shows which run inference would now select.
 
-Run with ``python examples/feedback_loop.py``.
+Run with ``python examples/feedback_loop.py``.  The Quickstart in the
+repo-root README.md introduces the log/commit/dataframe primitives the
+feedback routes record with.
 """
 
 from __future__ import annotations

@@ -11,7 +11,8 @@ The scenario from Section 2 of the paper:
    version and replays them (differentially, using checkpoints), so the new
    column appears for all historical runs in ``flor.dataframe``.
 
-Run with ``python examples/hindsight_debugging.py``.
+Run with ``python examples/hindsight_debugging.py``.  The Quickstart in
+the repo-root README.md covers the recording side this example replays.
 """
 
 from __future__ import annotations

@@ -6,7 +6,9 @@ only stale stages, and FlorDB records application, behavioral and change
 context along the way.  After the first build the script touches one stage's
 input and rebuilds, showing that only the downstream stages re-run.
 
-Run with ``python examples/pdf_pipeline.py``.
+Run with ``python examples/pdf_pipeline.py``.  New here?  Start with the
+Quickstart in the repo-root README.md (and examples/quickstart.py) for the
+core log → commit → dataframe flow this pipeline builds on.
 """
 
 from __future__ import annotations

@@ -9,6 +9,8 @@ This is the paper's Figure 5 in miniature:
 
 Run with ``python examples/quickstart.py``.  All state lands in
 ``./example_runs/quickstart/.flor`` so repeated runs accumulate history.
+This is the runnable version of the Quickstart section in the repo-root
+README.md, which also covers install and the CLI.
 """
 
 from __future__ import annotations

@@ -27,6 +27,18 @@ Subpackages
 ``repro.mlops``       feature-store / model-registry / label-store roles
 ``repro.webapp``      the human-in-the-loop feedback web application
 ``repro.workloads``   synthetic workload generators for the benchmarks
+``repro.service``     multi-tenant HTTP service layer: sharded database
+                      pool (one SQLite file per project, LRU handle cache),
+                      batched ingestion (one transaction per flush), and
+                      append/commit/dataframe/SQL endpoints behind the
+                      ``serve`` CLI subcommand
+
+The ``flordb`` command line (:mod:`repro.cli`) covers the shell side:
+``names``/``versions``/``dataframe``/``sql``/``stats`` for queries,
+``backfill`` for hindsight logging, ``build`` for incremental Makefile
+builds, and ``serve`` for the multi-tenant service.  The README at the
+repository root walks through install, the quickstart above, and how to
+run the tier-1 tests and benchmarks.
 """
 
 from .config import ProjectConfig

@@ -14,6 +14,9 @@ Subcommands
 ``stats``      table row counts and storage summary
 ``backfill``   multiversion hindsight logging for a script in the project
 ``build``      incremental (optionally parallel) build of a Makefile target
+``serve``      multi-tenant HTTP service over the projects under a root
+               directory (sharded pool + batched ingestion; see
+               :mod:`repro.service`)
 
 Example::
 
@@ -21,6 +24,11 @@ Example::
     python -m repro.cli --project ./myproj sql "SELECT COUNT(*) FROM logs"
     python -m repro.cli --project ./myproj backfill train.py
     python -m repro.cli --project ./myproj build run --jobs 4
+    python -m repro.cli --project ./projects serve --port 8230
+
+Note that ``serve`` interprets ``--project`` differently from the other
+subcommands: it is the *root holding one project subdirectory per tenant*
+(``<root>/<name>/.flor``), because the service is multi-tenant by design.
 """
 
 from __future__ import annotations
@@ -152,6 +160,29 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import FlorService
+    from .service.server import serve
+
+    service = FlorService(
+        Path(args.project).resolve(),
+        pool_capacity=args.pool_capacity,
+        flush_size=args.flush_size,
+        flush_interval=None if args.flush_interval <= 0 else args.flush_interval,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving FlorDB projects under {service.root} at http://{host}:{port}")
+        print("routes: POST /projects/<name>/logs | POST /projects/<name>/commit")
+        print("        GET  /projects/<name>/dataframe?names=... | GET /projects/<name>/sql?q=...")
+
+    try:
+        serve(service.app(), host=args.host, port=args.port, quiet=args.quiet, ready=ready)
+    finally:
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flordb",
@@ -198,6 +229,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--force", action="store_true", help="rebuild every target regardless of staleness")
     sub.add_argument("--no-record", action="store_true", help="do not commit or record build_deps for this build")
     sub.set_defaults(func=_cmd_build)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="serve the projects under --project (one subdirectory per tenant) over HTTP",
+    )
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8230, help="TCP port (0 picks a free one)")
+    sub.add_argument("--pool-capacity", type=int, default=8, help="max simultaneously open project shards")
+    sub.add_argument("--flush-size", type=int, default=64, help="records coalesced per ingestion transaction")
+    sub.add_argument("--flush-interval", type=float, default=0.5, help="seconds between interval-triggered flushes (<=0 disables)")
+    sub.add_argument("--quiet", action="store_true", help="suppress per-request access logging")
+    sub.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -19,6 +19,45 @@ from .records import (
     Ts2VidRecord,
 )
 
+#: Insert statements shared with :mod:`repro.service.ingest`, which replays
+#: them through a single transaction when coalescing batched appends.
+INSERT_LOG_SQL = (
+    "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?)"
+)
+INSERT_LOOP_SQL = (
+    "INSERT OR REPLACE INTO loops"
+    " (projid, tstamp, filename, ctx_id, parent_ctx_id, loop_name, loop_iteration, iteration_value)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+)
+
+
+def log_row(record: LogRecord) -> tuple:
+    """Bind parameters for :data:`INSERT_LOG_SQL`."""
+    return (
+        record.projid,
+        record.tstamp,
+        record.filename,
+        record.ctx_id,
+        record.value_name,
+        record.value,
+        record.value_type,
+    )
+
+
+def loop_row(record: LoopRecord) -> tuple:
+    """Bind parameters for :data:`INSERT_LOOP_SQL`."""
+    return (
+        record.projid,
+        record.tstamp,
+        record.filename,
+        record.ctx_id,
+        record.parent_ctx_id,
+        record.loop_name,
+        record.loop_iteration,
+        record.iteration_value,
+    )
+
 
 class LogRepository:
     """Append-only access to the ``logs`` table."""
@@ -30,14 +69,7 @@ class LogRepository:
         self.add_many([record])
 
     def add_many(self, records: Sequence[LogRecord]) -> None:
-        self._db.executemany(
-            "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?)",
-            [
-                (r.projid, r.tstamp, r.filename, r.ctx_id, r.value_name, r.value, r.value_type)
-                for r in records
-            ],
-        )
+        self._db.executemany(INSERT_LOG_SQL, [log_row(r) for r in records])
 
     def _rows_to_records(self, rows: Iterable[tuple]) -> list[LogRecord]:
         return [
@@ -114,24 +146,7 @@ class LoopRepository:
         self.add_many([record])
 
     def add_many(self, records: Sequence[LoopRecord]) -> None:
-        self._db.executemany(
-            "INSERT OR REPLACE INTO loops"
-            " (projid, tstamp, filename, ctx_id, parent_ctx_id, loop_name, loop_iteration, iteration_value)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            [
-                (
-                    r.projid,
-                    r.tstamp,
-                    r.filename,
-                    r.ctx_id,
-                    r.parent_ctx_id,
-                    r.loop_name,
-                    r.loop_iteration,
-                    r.iteration_value,
-                )
-                for r in records
-            ],
-        )
+        self._db.executemany(INSERT_LOOP_SQL, [loop_row(r) for r in records])
 
     def _rows_to_records(self, rows: Iterable[tuple]) -> list[LoopRecord]:
         return [

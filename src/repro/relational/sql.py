@@ -17,6 +17,7 @@ context store is append-only from the query surface.
 from __future__ import annotations
 
 import re
+import sqlite3
 from typing import Any, Sequence
 
 from ..dataframe import DataFrame, from_records
@@ -26,19 +27,51 @@ from .database import Database
 _READ_ONLY_RE = re.compile(r"^\s*(SELECT|WITH)\b", re.IGNORECASE)
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
+_READ_ONLY_MESSAGE = "only SELECT/WITH statements may be run against the context store"
+
+#: Authorizer action codes that a read-only statement may perform.  The
+#: prefix regex alone is not enough — ``WITH t AS (SELECT 1) DELETE ...``
+#: begins with WITH but mutates — so statement compilation is checked too.
+_READ_ONLY_ACTIONS = {
+    sqlite3.SQLITE_SELECT,
+    sqlite3.SQLITE_READ,
+    sqlite3.SQLITE_FUNCTION,
+    getattr(sqlite3, "SQLITE_RECURSIVE", 33),
+}
+
+
+def _read_only_authorizer(action: int, *_args: Any) -> int:
+    return sqlite3.SQLITE_OK if action in _READ_ONLY_ACTIONS else sqlite3.SQLITE_DENY
+
 
 def _require_read_only(sql: str) -> None:
     if not _READ_ONLY_RE.match(sql):
-        raise DatabaseError("only SELECT/WITH statements may be run against the context store")
+        raise DatabaseError(_READ_ONLY_MESSAGE)
 
 
 def run_sql(db: Database, sql: str, params: Sequence[Any] = ()) -> DataFrame:
-    """Run a read-only SQL statement and return the result as a DataFrame."""
+    """Run a read-only SQL statement and return the result as a DataFrame.
+
+    Read-only is enforced twice: a cheap prefix check for a friendly error,
+    then an SQLite authorizer during compilation that denies every action
+    other than reading (catching writes smuggled past the prefix, e.g.
+    ``WITH ... DELETE``).  SQLite errors — including authorizer denials and
+    malformed statements — surface as :class:`~repro.errors.DatabaseError`.
+    """
     _require_read_only(sql)
-    with db.transaction() as connection:
-        cursor = connection.execute(sql, tuple(params))
-        columns = [description[0] for description in cursor.description or []]
-        rows = cursor.fetchall()
+    try:
+        with db.transaction() as connection:
+            connection.set_authorizer(_read_only_authorizer)
+            try:
+                cursor = connection.execute(sql, tuple(params))
+                columns = [description[0] for description in cursor.description or []]
+                rows = cursor.fetchall()
+            finally:
+                connection.set_authorizer(None)
+    except sqlite3.Error as exc:
+        if "not authorized" in str(exc):
+            raise DatabaseError(_READ_ONLY_MESSAGE) from exc
+        raise DatabaseError(f"SQL error: {exc}") from exc
     return from_records((dict(zip(columns, row)) for row in rows), columns=columns)
 
 

@@ -1,0 +1,282 @@
+"""HTTP surface of the multi-tenant FlorDB service.
+
+Routes (all JSON; ``<name>`` is a tenant/project name):
+
+* ``POST /projects/<name>/logs`` — bulk-append log and loop records.  The
+  body is ``{"records": [...], "loops": [...], "filename": ...}``; records
+  are acknowledged with ``202`` once enqueued (durability comes from the
+  next batch flush, commit, or read).
+* ``POST /projects/<name>/commit`` — flush the shard's queue and run
+  ``flor.commit`` (snapshot tracked files, record the ``ts2vid`` epoch).
+* ``GET /projects/<name>/dataframe?names=a,b[&latest=1]`` — the pivoted
+  view of the named log values, as ``{"columns": ..., "records": ...}``.
+* ``GET /projects/<name>/sql?q=SELECT...[&names=a,b]`` — read-only SQL via
+  :func:`repro.relational.sql.run_sql`; anything but SELECT/WITH is a 400.
+* ``GET /projects/<name>/stats`` — per-shard row counts and queue stats.
+* ``GET /service/stats`` and ``GET /healthz`` — pool-level introspection.
+
+Reads flush before querying, so a client always reads its own writes even
+when its records are still queued.  Handlers run under the shard's lock
+(see :mod:`repro.service.pool`), which makes the service safe to drive
+from many threads — the shape the T8 benchmark measures.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any
+
+from ..config import FLOR_DIR_NAME
+from ..errors import DatabaseError, ReproError
+from ..relational.records import LogRecord, LoopRecord
+from ..relational.schema import TABLES
+from ..webapp.framework import HttpError, JsonResponse, Request, WebApp
+from .pool import SERVICE_FILENAME, DatabasePool, ProjectShard
+
+#: Tenant names must be plain path-safe tokens (no separators, no ``..``).
+_PROJECT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class FlorService:
+    """Many concurrent clients, one FlorDB host directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one project subdirectory per tenant.
+    pool_capacity:
+        Maximum simultaneously open shards (LRU beyond that).
+    flush_size / flush_interval:
+        Batched-ingestion knobs, passed to each shard's
+        :class:`~repro.service.ingest.IngestionQueue`.  ``flush_size=1``
+        disables batching (every append is its own transaction).
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        pool_capacity: int = 8,
+        flush_size: int = 64,
+        flush_interval: float | None = 0.5,
+    ):
+        self.root = Path(root)
+        self.flush_size = flush_size
+        self.flush_interval = flush_interval
+        self.pool = DatabasePool(
+            self.root,
+            capacity=pool_capacity,
+            flush_size=flush_size,
+            flush_interval=flush_interval,
+        )
+        self._app: WebApp | None = None
+
+    def project_exists(self, name: str) -> bool:
+        """Whether ``name`` is an open shard or has a ``.flor`` home on disk."""
+        return name in self.pool or (self.root / name / FLOR_DIR_NAME).is_dir()
+
+    def close(self) -> None:
+        """Flush and close every open shard."""
+        self.pool.close()
+
+    # ------------------------------------------------------------------- app
+    def app(self) -> WebApp:
+        """The (cached) :class:`~repro.webapp.framework.WebApp` for this host."""
+        if self._app is None:
+            self._app = create_app(self)
+        return self._app
+
+
+def _validated_name(name: str) -> str:
+    if ".." in name or not _PROJECT_NAME_RE.match(name):
+        raise HttpError(400, f"invalid project name: {name!r}")
+    return name
+
+
+def _json_body(request: Request) -> dict[str, Any]:
+    try:
+        payload = request.get_json()
+    except ReproError as exc:
+        raise HttpError(400, str(exc)) from exc
+    if not isinstance(payload, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return payload
+
+
+def _record_list(payload: dict[str, Any], key: str) -> list[dict[str, Any]]:
+    items = payload.get(key, [])
+    if not isinstance(items, list) or any(not isinstance(i, dict) for i in items):
+        raise HttpError(400, f"{key!r} must be a list of objects")
+    return items
+
+
+def _int_field(item: dict[str, Any], key: str, default: int = 0) -> int:
+    value = item.get(key, default)
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"{key!r} must be an integer, got {value!r}") from exc
+
+
+def _build_log_records(
+    shard: ProjectShard, payload: dict[str, Any]
+) -> list[LogRecord]:
+    default_filename = str(payload.get("filename") or SERVICE_FILENAME)
+    records = []
+    for item in _record_list(payload, "records"):
+        if "name" not in item:
+            raise HttpError(400, "every log record needs a 'name'")
+        records.append(
+            LogRecord.create(
+                projid=shard.session.projid,
+                tstamp=str(item.get("tstamp") or shard.session.tstamp),
+                filename=str(item.get("filename") or default_filename),
+                ctx_id=_int_field(item, "ctx_id"),
+                value_name=str(item["name"]),
+                value=item.get("value"),
+            )
+        )
+    return records
+
+
+def _build_loop_records(
+    shard: ProjectShard, payload: dict[str, Any]
+) -> list[LoopRecord]:
+    default_filename = str(payload.get("filename") or SERVICE_FILENAME)
+    loops = []
+    for item in _record_list(payload, "loops"):
+        if "loop_name" not in item:
+            raise HttpError(400, "every loop record needs a 'loop_name'")
+        loops.append(
+            LoopRecord(
+                projid=shard.session.projid,
+                tstamp=str(item.get("tstamp") or shard.session.tstamp),
+                filename=str(item.get("filename") or default_filename),
+                ctx_id=_int_field(item, "ctx_id"),
+                parent_ctx_id=(
+                    None
+                    if item.get("parent_ctx_id") is None
+                    else _int_field(item, "parent_ctx_id")
+                ),
+                loop_name=str(item["loop_name"]),
+                loop_iteration=_int_field(item, "loop_iteration"),
+                iteration_value=str(item.get("iteration_value", "")),
+            )
+        )
+    return loops
+
+
+def create_app(service: FlorService) -> WebApp:
+    """Build the route table for ``service`` (one WebApp per host)."""
+    app = WebApp("flordb-service")
+    pool = service.pool
+
+    def _existing(name: str) -> str:
+        """Validate a tenant name for a *read*: reads never create tenants.
+
+        POST endpoints create the project on first touch (that is how a
+        tenant is born); letting GETs do the same would materialize a
+        database directory — and burn an LRU slot — for every typo'd or
+        scanning request.
+        """
+        name = _validated_name(name)
+        if not service.project_exists(name):
+            raise HttpError(404, f"unknown project {name!r}")
+        return name
+
+    @app.route("/healthz")
+    def healthz(_request: Request):
+        return JsonResponse({"status": "ok", "root": str(service.root)})
+
+    @app.route("/service/stats")
+    def service_stats(_request: Request):
+        return JsonResponse(
+            {
+                "open_shards": pool.open_shards(),
+                "capacity": pool.capacity,
+                "pool": pool.stats.as_dict(),
+                "flush_size": service.flush_size,
+                "flush_interval": service.flush_interval,
+            }
+        )
+
+    @app.route("/projects/<name>/logs", methods=("POST",))
+    def append_logs(request: Request, name: str):
+        payload = _json_body(request)
+        with pool.checkout(_validated_name(name)) as shard:
+            logs = _build_log_records(shard, payload)
+            loops = _build_loop_records(shard, payload)
+            if not logs and not loops:
+                raise HttpError(400, "no records to append ('records' and 'loops' both empty)")
+            flushed = shard.queue.append(logs=logs, loops=loops)
+            return JsonResponse(
+                {
+                    "queued": len(logs) + len(loops),
+                    "flushed": flushed,
+                    "pending": shard.queue.pending,
+                },
+                status=202,
+            )
+
+    @app.route("/projects/<name>/commit", methods=("POST",))
+    def commit(request: Request, name: str):
+        payload = _json_body(request)
+        message = str(payload.get("message", ""))
+        with pool.checkout(_validated_name(name)) as shard:
+            shard.flush()
+            vid = shard.session.commit(message)
+            return JsonResponse({"vid": vid, "tstamp": shard.session.tstamp})
+
+    @app.route("/projects/<name>/dataframe")
+    def dataframe(request: Request, name: str):
+        names_arg = request.arg("names", "") or ""
+        names = [n for n in names_arg.split(",") if n]
+        if not names:
+            raise HttpError(400, "the 'names' query parameter is required (comma-separated)")
+        with pool.checkout(_existing(name)) as shard:
+            shard.flush()
+            frame = shard.session.dataframe(*names)
+            if request.arg("latest") in ("1", "true", "yes"):
+                from ..relational.queries import latest
+
+                frame = latest(frame)
+            return JsonResponse(
+                {"columns": frame.columns, "records": frame.to_records(), "rows": len(frame)}
+            )
+
+    @app.route("/projects/<name>/sql")
+    def sql(request: Request, name: str):
+        query = request.arg("q") or request.arg("query")
+        if not query:
+            raise HttpError(400, "the 'q' query parameter is required")
+        names_arg = request.arg("names", "") or ""
+        names = [n for n in names_arg.split(",") if n]
+        with pool.checkout(_existing(name)) as shard:
+            shard.flush()
+            try:
+                frame = shard.session.sql(query, names=names)
+            except DatabaseError as exc:
+                # run_sql's read-only guard (and malformed SQL) land here:
+                # the context store is append-only from the query surface.
+                raise HttpError(400, str(exc)) from exc
+            return JsonResponse(
+                {"columns": frame.columns, "records": frame.to_records(), "rows": len(frame)}
+            )
+
+    @app.route("/projects/<name>/stats")
+    def project_stats(request: Request, name: str):
+        with pool.checkout(_existing(name)) as shard:
+            tables = {
+                table: shard.session.db.count(table) for table in TABLES if table != "meta"
+            }
+            return JsonResponse(
+                {
+                    "project": shard.session.projid,
+                    "tables": tables,
+                    "pending": shard.queue.pending if shard.queue else 0,
+                    "ingest": shard.queue.stats.as_dict() if shard.queue else {},
+                }
+            )
+
+    return app

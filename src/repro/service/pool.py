@@ -1,0 +1,253 @@
+"""Sharded database pool: one SQLite database per project, LRU-capped.
+
+Multi-tenant FlorDB keeps tenants physically separate — each project name
+maps to ``<root>/<name>/.flor/flor.db`` — so one noisy tenant never
+contends on another tenant's database file and a shard can be backed up or
+dropped independently (the "one metadata home per project" layout of
+:mod:`repro.config`, multiplied).
+
+Open handles are cached in an :class:`~collections.OrderedDict` used as an
+LRU: :meth:`DatabasePool.get` moves the shard to the hot end, and opening a
+shard beyond ``capacity`` closes the coldest one.  Closing flushes the
+shard's ingestion queue first, so eviction never loses acknowledged
+records — a re-opened shard sees everything that was appended before
+eviction (exercised by the pool tests).
+
+Concurrency model: the pool dict is guarded by a pool-level lock; each
+shard carries its own :class:`threading.RLock` that request handlers hold
+for the duration of one operation.  Eviction also takes the shard lock, so
+an in-flight request finishes before its shard closes.  A handler that
+loses the race (its shard is closed between lookup and lock acquisition)
+observes ``shard.closed`` and retries the lookup — see
+:meth:`DatabasePool.checkout`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from ..config import ProjectConfig
+from ..core.session import Session
+from .ingest import IngestionQueue
+
+#: Filename stamped on records that arrive without one; mirrors how the
+#: feedback webapp stamps ``app.py`` on human-in-the-loop records.
+SERVICE_FILENAME = "service"
+
+
+@dataclass
+class PoolStats:
+    """Counters describing a pool's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    reopens: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "reopens": self.reopens,
+        }
+
+
+class ProjectShard:
+    """One open tenant: a session, its ingestion queue and a lock."""
+
+    def __init__(self, name: str, session: Session, queue: IngestionQueue | None = None):
+        self.name = name
+        self.session = session
+        self.queue = queue
+        self.lock = threading.RLock()
+        self.closed = False
+
+    def flush(self) -> int:
+        """Drain the ingestion queue (if any) and the session's buffers."""
+        with self.lock:
+            flushed = self.queue.flush() if self.queue is not None else 0
+            self.session.flush()
+            return flushed
+
+    def close(self) -> None:
+        """Flush pending records, then release the database handle."""
+        with self.lock:
+            if self.closed:
+                return
+            self.flush()
+            self.session.close()
+            self.closed = True
+
+
+class DatabasePool:
+    """An LRU-capped cache of :class:`ProjectShard` handles under one root.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one project subdirectory per tenant.
+    capacity:
+        Maximum number of simultaneously open shards (SQLite handles).
+    flush_size / flush_interval:
+        Batching knobs for each shard's
+        :class:`~repro.service.ingest.IngestionQueue`.
+    shard_factory:
+        ``(name) -> ProjectShard`` hook replacing the default construction
+        entirely (mainly for tests).
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        capacity: int = 8,
+        flush_size: int = 64,
+        flush_interval: float | None = 0.5,
+        shard_factory: Callable[[str], ProjectShard] | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.root = Path(root)
+        self.capacity = capacity
+        self.flush_size = flush_size
+        self.flush_interval = flush_interval
+        self._factory = shard_factory or self._default_factory
+        self._shards: "OrderedDict[str, ProjectShard]" = OrderedDict()
+        self._building: dict[str, threading.Event] = {}
+        self._lock = threading.RLock()
+        self._ever_opened: set[str] = set()
+        self.stats = PoolStats()
+
+    def _default_factory(self, name: str) -> ProjectShard:
+        config = ProjectConfig(self.root / name, name)
+        session = Session(config, default_filename=SERVICE_FILENAME)
+        queue = IngestionQueue(
+            session.db, flush_size=self.flush_size, flush_interval=self.flush_interval
+        )
+        return ProjectShard(name, session, queue)
+
+    # ----------------------------------------------------------------- lookup
+    def get(self, name: str) -> ProjectShard:
+        """Return the shard for ``name``, opening (and maybe evicting) as needed."""
+        while True:
+            with self._lock:
+                shard = self._shards.get(name)
+                if shard is not None:
+                    self._shards.move_to_end(name)
+                    self.stats.hits += 1
+                    return shard
+                pending = self._building.get(name)
+                if pending is None:
+                    opening = threading.Event()
+                    self._building[name] = opening
+                    self.stats.misses += 1
+                    if name in self._ever_opened:
+                        self.stats.reopens += 1
+                    self._ever_opened.add(name)
+                    break
+            # Another thread is opening this shard; wait and re-check rather
+            # than opening a duplicate handle on the same database file.
+            pending.wait()
+        # Construct outside the pool lock: opening a shard touches the disk
+        # (directory layout, SQLite schema) and must not block lookups of
+        # unrelated hot shards.
+        evicted: list[ProjectShard] = []
+        try:
+            shard = self._factory(name)
+        except BaseException:
+            with self._lock:
+                self._building.pop(name, None)
+            opening.set()
+            raise
+        with self._lock:
+            self._shards[name] = shard
+            self._building.pop(name, None)
+            while len(self._shards) > self.capacity:
+                _, cold = self._shards.popitem(last=False)
+                self.stats.evictions += 1
+                evicted.append(cold)
+        opening.set()
+        for cold in evicted:
+            self._close_evicted(cold)
+        return shard
+
+    def _close_evicted(self, shard: ProjectShard) -> None:
+        """Close a shard evicted from the cache without losing records.
+
+        If the close fails (the flush raised), the shard still holds its
+        queued records, so it is reinstated into the cache rather than
+        orphaned — acknowledged appends stay reachable and the flush is
+        retried on the next eviction or :meth:`close`.  Reinstating is only
+        impossible when the same name was concurrently reopened; then the
+        failure propagates, because silently dropping records is worse.
+        """
+        try:
+            shard.close()
+        except Exception:
+            with self._lock:
+                if shard.name not in self._shards and not shard.closed:
+                    self._shards[shard.name] = shard
+                    self._shards.move_to_end(shard.name, last=False)
+                    self.stats.evictions -= 1
+                    return
+            raise
+
+    @contextmanager
+    def checkout(self, name: str) -> Iterator[ProjectShard]:
+        """Yield the shard for ``name`` with its lock held.
+
+        Retries the lookup when the shard was evicted between :meth:`get`
+        and lock acquisition, so callers never operate on a closed handle.
+        """
+        while True:
+            shard = self.get(name)
+            with shard.lock:
+                if shard.closed:
+                    continue
+                yield shard
+                return
+
+    # ------------------------------------------------------------- lifecycle
+    def open_shards(self) -> list[str]:
+        """Names currently holding an open handle, coldest first."""
+        with self._lock:
+            return list(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._shards
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    def evict(self, name: str) -> bool:
+        """Close one shard now (flushing first); True if it was open."""
+        with self._lock:
+            shard = self._shards.pop(name, None)
+            if shard is not None:
+                self.stats.evictions += 1
+        if shard is None:
+            return False
+        shard.close()
+        return True
+
+    def flush_all(self) -> int:
+        """Flush every open shard; returns total records written."""
+        with self._lock:
+            shards = list(self._shards.values())
+        return sum(shard.flush() for shard in shards)
+
+    def close(self) -> None:
+        """Flush and close every open shard."""
+        with self._lock:
+            shards = list(self._shards.values())
+            self._shards.clear()
+        for shard in shards:
+            shard.close()

@@ -2,12 +2,15 @@
 
 Every benchmark in ``benchmarks/`` drives the library through one of these
 generators, so workload parameters (number of versions, epochs, documents,
-log volume) live in one place and the benches stay declarative.
+log volume, client concurrency) live in one place and the benches stay
+declarative.
 """
 
 from .generator import (
     LoggingWorkload,
     PipelineWorkload,
+    ServiceLoadReport,
+    ServiceWorkload,
     TrainingWorkload,
     VersionedScriptWorkload,
     WideDagWorkload,
@@ -20,5 +23,7 @@ __all__ = [
     "VersionedScriptWorkload",
     "PipelineWorkload",
     "WideDagWorkload",
+    "ServiceWorkload",
+    "ServiceLoadReport",
     "populate_logs",
 ]

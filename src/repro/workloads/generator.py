@@ -10,13 +10,17 @@ Four workload shapes cover the paper's evaluation surface:
 * :class:`PipelineWorkload` — the Make-driven multi-stage pipeline
   (figures F2/F4, incremental build T6),
 * :class:`WideDagWorkload` — a synthetic fan-out/fan-in build DAG whose
-  stages are pure compute, isolating the parallel scheduler (T7).
+  stages are pure compute, isolating the parallel scheduler (T7),
+* :class:`ServiceWorkload` — many concurrent clients appending through the
+  multi-tenant HTTP service layer (service throughput T8).
 """
 
 from __future__ import annotations
 
 import textwrap
-from dataclasses import dataclass
+import threading
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..config import ProjectConfig
@@ -351,4 +355,112 @@ class WideDagWorkload:
             runner=CallableRunner(callables),
             session=session,
             jobs=jobs,
+        )
+
+
+@dataclass
+class ServiceLoadReport:
+    """Outcome of one :class:`ServiceWorkload` run."""
+
+    requests: int
+    records: int
+    seconds: float
+    latencies: list[float] = field(default_factory=list, repr=False)
+    errors: int = 0
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.seconds if self.seconds else float("inf")
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.seconds if self.seconds else float("inf")
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile ``p`` in [0, 100] (nearest-rank) in seconds."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+@dataclass
+class ServiceWorkload:
+    """Concurrent append traffic against the multi-tenant service layer.
+
+    ``clients`` threads each issue ``requests_per_client`` bulk-append
+    requests of ``records_per_request`` log records, spread round-robin
+    over ``projects`` tenants.  Drive it with any client exposing the
+    :class:`~repro.webapp.framework.TestClient` ``post`` signature — the
+    in-process test client for hermetic benchmarks, or an HTTP client
+    against ``repro serve`` for end-to-end runs.  Per-request latencies
+    are collected so the T8 benchmark can report p50/p99 alongside
+    throughput.
+    """
+
+    clients: int = 8
+    requests_per_client: int = 25
+    records_per_request: int = 1
+    projects: int = 1
+    value_name: str = "metric"
+    filename: str = "load.py"
+
+    def project_names(self) -> list[str]:
+        return [f"tenant_{i:02d}" for i in range(self.projects)]
+
+    @property
+    def total_records(self) -> int:
+        return self.clients * self.requests_per_client * self.records_per_request
+
+    def run(self, client) -> ServiceLoadReport:
+        """Drive ``client`` from ``clients`` threads; returns the report."""
+        names = self.project_names()
+        latencies: list[list[float]] = [[] for _ in range(self.clients)]
+        errors = [0] * self.clients
+        barrier = threading.Barrier(self.clients + 1)
+
+        def worker(worker_id: int) -> None:
+            project = names[worker_id % len(names)]
+            url = f"/projects/{project}/logs"
+            barrier.wait()
+            for i in range(self.requests_per_client):
+                payload = {
+                    "filename": self.filename,
+                    "records": [
+                        {
+                            "name": self.value_name,
+                            "value": worker_id + i * 0.001 + j * 0.000001,
+                            "ctx_id": i,
+                        }
+                        for j in range(self.records_per_request)
+                    ],
+                }
+                started = time.perf_counter()
+                try:
+                    response = client.post(url, json_body=payload)
+                    ok = response.ok
+                except Exception:  # noqa: BLE001 - a dead worker must not
+                    ok = False  # silently deflate the measured request count
+                latencies[worker_id].append(time.perf_counter() - started)
+                if not ok:
+                    errors[worker_id] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(worker_id,), daemon=True)
+            for worker_id in range(self.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+        return ServiceLoadReport(
+            requests=self.clients * self.requests_per_client,
+            records=self.total_records,
+            seconds=seconds,
+            latencies=[latency for bucket in latencies for latency in bucket],
+            errors=sum(errors),
         )

@@ -44,6 +44,27 @@ class TestRunSql:
         with pytest.raises(DatabaseError):
             run_sql(recorded.db, "UPDATE logs SET value = '0'")
 
+    def test_write_smuggled_past_the_prefix_is_rejected(self, recorded):
+        # Starts with WITH, so the prefix check passes — the compile-time
+        # authorizer must still deny it and the data must survive.
+        before = recorded.db.count("logs")
+        with pytest.raises(DatabaseError, match="SELECT/WITH"):
+            recorded.sql("WITH t AS (SELECT 1) DELETE FROM logs")
+        assert recorded.db.count("logs") == before
+
+    def test_malformed_sql_raises_database_error(self, recorded):
+        with pytest.raises(DatabaseError, match="SQL error"):
+            recorded.sql("SELECT * FROM no_such_table")
+        with pytest.raises(DatabaseError, match="SQL error"):
+            recorded.sql("SELECT FROM WHERE")
+
+    def test_read_only_authorizer_is_removed_afterwards(self, recorded):
+        with pytest.raises(DatabaseError):
+            recorded.sql("WITH t AS (SELECT 1) DELETE FROM logs")
+        # Normal write paths (outside run_sql) still work after the denial.
+        recorded.db.execute("INSERT INTO meta (key, value) VALUES ('probe', '1')")
+        assert recorded.db.query_one("SELECT value FROM meta WHERE key = 'probe'") == ("1",)
+
     def test_empty_result_preserves_columns(self, recorded):
         frame = recorded.sql("SELECT projid, tstamp FROM logs WHERE value_name = 'missing'")
         assert frame.empty

@@ -1,0 +1,134 @@
+"""Tests for the batched ingestion queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.records import LogRecord, LoopRecord
+from repro.service.ingest import IngestionQueue
+
+
+def _log(i: int, tstamp: str = "2025-01-01T00:00:00") -> LogRecord:
+    return LogRecord.create(
+        projid="svc", tstamp=tstamp, filename="load.py", ctx_id=i, value_name="m", value=i
+    )
+
+
+def _loop(i: int, tstamp: str = "2025-01-01T00:00:00") -> LoopRecord:
+    return LoopRecord(
+        projid="svc",
+        tstamp=tstamp,
+        filename="load.py",
+        ctx_id=i,
+        parent_ctx_id=0,
+        loop_name="epoch",
+        loop_iteration=i,
+        iteration_value=str(i),
+    )
+
+
+@pytest.fixture()
+def db():
+    with Database(":memory:") as database:
+        yield database
+
+
+class TestSizeTrigger:
+    def test_below_threshold_stays_pending(self, db):
+        queue = IngestionQueue(db, flush_size=4, flush_interval=None)
+        assert queue.append(logs=[_log(0), _log(1)]) is False
+        assert queue.pending == 2
+        assert db.count("logs") == 0
+
+    def test_reaching_threshold_flushes(self, db):
+        queue = IngestionQueue(db, flush_size=4, flush_interval=None)
+        queue.append(logs=[_log(0), _log(1)])
+        assert queue.append(logs=[_log(2), _log(3)]) is True
+        assert queue.pending == 0
+        assert db.count("logs") == 4
+        assert queue.stats.size_flushes == 1
+        assert queue.stats.flushed_records == 4
+
+    def test_flush_size_one_is_the_unbatched_baseline(self, db):
+        queue = IngestionQueue(db, flush_size=1, flush_interval=None)
+        for i in range(3):
+            assert queue.append(logs=[_log(i)]) is True
+        assert db.count("logs") == 3
+        assert queue.stats.flushes == 3
+
+    def test_logs_and_loops_count_toward_the_same_threshold(self, db):
+        queue = IngestionQueue(db, flush_size=2, flush_interval=None)
+        assert queue.append(logs=[_log(0)], loops=[_loop(0)]) is True
+        assert db.count("logs") == 1
+        assert db.count("loops") == 1
+
+    def test_invalid_flush_size_rejected(self, db):
+        with pytest.raises(ValueError):
+            IngestionQueue(db, flush_size=0)
+
+
+class TestIntervalTrigger:
+    def test_elapsed_interval_flushes_on_append(self, db):
+        now = [0.0]
+        queue = IngestionQueue(db, flush_size=100, flush_interval=1.0, clock=lambda: now[0])
+        assert queue.append(logs=[_log(0)]) is False
+        now[0] = 2.0
+        assert queue.append(logs=[_log(1)]) is True
+        assert db.count("logs") == 2
+        assert queue.stats.interval_flushes == 1
+
+    def test_interval_disabled_never_time_flushes(self, db):
+        now = [0.0]
+        queue = IngestionQueue(db, flush_size=100, flush_interval=None, clock=lambda: now[0])
+        queue.append(logs=[_log(0)])
+        now[0] = 1e9
+        assert queue.append(logs=[_log(1)]) is False
+        assert queue.pending == 2
+
+
+class TestExplicitFlush:
+    def test_flush_drains_everything(self, db):
+        queue = IngestionQueue(db, flush_size=100, flush_interval=None)
+        queue.append(logs=[_log(0), _log(1)], loops=[_loop(0)])
+        assert queue.flush() == 3
+        assert queue.pending == 0
+        assert db.count("logs") == 2
+        assert db.count("loops") == 1
+        assert queue.stats.explicit_flushes == 1
+
+    def test_flush_on_empty_queue_is_a_noop(self, db):
+        queue = IngestionQueue(db, flush_size=100, flush_interval=None)
+        assert queue.flush() == 0
+        assert queue.stats.flushes == 0
+
+    def test_one_transaction_per_flush(self, db, monkeypatch):
+        queue = IngestionQueue(db, flush_size=100, flush_interval=None)
+        queue.append(logs=[_log(i) for i in range(10)], loops=[_loop(0)])
+        calls = []
+        original = db.transaction
+
+        def counting_transaction():
+            calls.append(1)
+            return original()
+
+        monkeypatch.setattr(db, "transaction", counting_transaction)
+        queue.flush()
+        assert len(calls) == 1  # logs AND loops inside a single transaction
+        assert db.count("logs") == 10
+        assert db.count("loops") == 1
+
+    def test_failed_flush_requeues_records(self, db, monkeypatch):
+        queue = IngestionQueue(db, flush_size=100, flush_interval=None)
+        queue.append(logs=[_log(0), _log(1)])
+
+        def broken_transaction():
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(db, "transaction", broken_transaction)
+        with pytest.raises(RuntimeError):
+            queue.flush()
+        monkeypatch.undo()
+        assert queue.pending == 2
+        assert queue.flush() == 2
+        assert db.count("logs") == 2

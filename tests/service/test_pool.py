@@ -1,0 +1,195 @@
+"""Tests for the sharded database pool (LRU eviction, reopen, locking)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.relational.records import LogRecord
+from repro.service.pool import DatabasePool
+
+
+@pytest.fixture()
+def pool(tmp_path):
+    pool = DatabasePool(tmp_path / "projects", capacity=2)
+    yield pool
+    pool.close()
+
+
+def _log(shard, i: int) -> LogRecord:
+    return LogRecord.create(
+        projid=shard.session.projid,
+        tstamp=shard.session.tstamp,
+        filename="load.py",
+        ctx_id=i,
+        value_name="m",
+        value=i,
+    )
+
+
+class TestLookup:
+    def test_get_caches_the_handle(self, pool):
+        first = pool.get("alpha")
+        assert pool.get("alpha") is first
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_each_project_gets_its_own_database(self, pool, tmp_path):
+        alpha = pool.get("alpha")
+        beta = pool.get("beta")
+        assert alpha.session.db is not beta.session.db
+        assert (tmp_path / "projects" / "alpha" / ".flor" / "flor.db").exists()
+        assert (tmp_path / "projects" / "beta" / ".flor" / "flor.db").exists()
+
+    def test_invalid_capacity_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DatabasePool(tmp_path, capacity=0)
+
+
+class TestEviction:
+    def test_lru_evicts_the_coldest_shard(self, pool):
+        alpha = pool.get("alpha")
+        pool.get("beta")
+        pool.get("alpha")  # alpha is now hot, beta cold
+        pool.get("gamma")  # capacity 2 -> beta evicted
+        assert pool.open_shards() == ["alpha", "gamma"]
+        assert pool.stats.evictions == 1
+        assert not alpha.closed
+
+    def test_eviction_flushes_pending_records(self, pool):
+        alpha = pool.get("alpha")
+        alpha.queue.append(logs=[_log(alpha, 0), _log(alpha, 1)])
+        assert alpha.queue.pending == 2
+        pool.get("beta")
+        pool.get("gamma")  # evicts alpha with queued records
+        assert alpha.closed
+        # Reopen: the acknowledged records survived the eviction.
+        reopened = pool.get("alpha")
+        assert reopened is not alpha
+        assert reopened.session.db.count("logs") == 2
+        assert pool.stats.reopens == 1
+
+    def test_explicit_evict(self, pool):
+        shard = pool.get("alpha")
+        assert pool.evict("alpha") is True
+        assert shard.closed
+        assert "alpha" not in pool
+        assert pool.evict("alpha") is False
+
+    def test_close_closes_every_shard(self, tmp_path):
+        pool = DatabasePool(tmp_path / "p", capacity=4)
+        shards = [pool.get(name) for name in ("a", "b", "c")]
+        pool.close()
+        assert all(shard.closed for shard in shards)
+        assert len(pool) == 0
+
+    def test_failed_eviction_flush_reinstates_the_shard(self, pool, monkeypatch):
+        """A flush failure during eviction must not drop acknowledged records."""
+        alpha = pool.get("alpha")
+        alpha.queue.append(logs=[_log(alpha, 0)])
+        attempts = []
+        original_flush = alpha.queue.flush
+
+        def failing_flush():
+            if not attempts:
+                attempts.append(1)
+                raise RuntimeError("disk hiccup")
+            return original_flush()
+
+        monkeypatch.setattr(alpha.queue, "flush", failing_flush)
+        pool.get("beta")
+        pool.get("gamma")  # eviction of alpha: close fails, shard reinstated
+        assert not alpha.closed
+        assert "alpha" in pool
+        assert alpha.queue.pending == 1  # records still reachable
+        pool.close()  # second attempt succeeds
+        assert alpha.closed
+        assert alpha.queue.pending == 0
+
+    def test_factory_failure_does_not_wedge_the_pool(self, tmp_path):
+        calls = []
+
+        def flaky_factory(name):
+            calls.append(name)
+            if len(calls) == 1:
+                raise RuntimeError("cold start failed")
+            return DatabasePool(tmp_path / "p")._default_factory(name)
+
+        pool = DatabasePool(tmp_path / "p", capacity=2, shard_factory=flaky_factory)
+        try:
+            with pytest.raises(RuntimeError):
+                pool.get("alpha")
+            # The failed open left no reservation behind; a retry succeeds.
+            shard = pool.get("alpha")
+            assert not shard.closed
+        finally:
+            pool.close()
+
+    def test_concurrent_first_opens_share_one_handle(self, tmp_path):
+        pool = DatabasePool(tmp_path / "p", capacity=4)
+        try:
+            results = []
+
+            def opener():
+                results.append(pool.get("shared"))
+
+            threads = [threading.Thread(target=opener) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len({id(shard) for shard in results}) == 1
+            assert pool.stats.misses == 1  # only one thread actually opened
+        finally:
+            pool.close()
+
+
+class TestCheckout:
+    def test_checkout_holds_the_shard_lock(self, pool):
+        with pool.checkout("alpha") as shard:
+            # The shard lock is re-entrant, so the owning thread re-acquires...
+            assert shard.lock.acquire(blocking=False)
+            shard.lock.release()
+            # ...while another thread cannot.
+            acquired = []
+            thread = threading.Thread(
+                target=lambda: acquired.append(shard.lock.acquire(blocking=False))
+            )
+            thread.start()
+            thread.join()
+            assert acquired == [False]
+
+    def test_checkout_retries_after_eviction_race(self, pool):
+        stale = pool.get("alpha")
+        pool.evict("alpha")  # simulate losing the race: handle closed underneath us
+        assert stale.closed
+        with pool.checkout("alpha") as shard:
+            assert not shard.closed
+            assert shard is not stale
+
+    def test_concurrent_appends_land_in_full(self, tmp_path):
+        pool = DatabasePool(tmp_path / "p", capacity=4)
+        try:
+            def worker(worker_id: int) -> None:
+                for i in range(20):
+                    with pool.checkout("shared") as shard:
+                        shard.queue.append(logs=[_log(shard, worker_id * 100 + i)])
+
+            threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with pool.checkout("shared") as shard:
+                shard.flush()
+                assert shard.session.db.count("logs") == 80
+        finally:
+            pool.close()
+
+    def test_flush_all_reports_written_records(self, pool):
+        alpha = pool.get("alpha")
+        beta = pool.get("beta")
+        alpha.queue.append(logs=[_log(alpha, 0)])
+        beta.queue.append(logs=[_log(beta, 0), _log(beta, 1)])
+        assert pool.flush_all() == 3

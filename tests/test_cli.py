@@ -214,3 +214,27 @@ class TestBackfill:
         root, _ = recorded_project
         assert main(["--project", str(root), "backfill", "ghost.py"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_subcommand_is_wired(self):
+        from repro.cli import _cmd_serve, build_parser
+
+        args = build_parser().parse_args(
+            ["--project", "/srv/flor", "serve", "--port", "0", "--flush-size", "32"]
+        )
+        assert args.func is _cmd_serve
+        assert args.project == "/srv/flor"
+        assert args.port == 0
+        assert args.flush_size == 32
+        assert args.pool_capacity == 8
+        assert args.flush_interval == 0.5
+
+    def test_serve_help_mentions_shards(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "shard" in out
+        assert "--flush-size" in out

@@ -79,3 +79,48 @@ class TestPipelineWorkload:
         assert report.executed == ["process_pdfs", "featurize", "train", "infer", "run"]
         assert pipeline.state.app is not None
         assert executor.build("run").executed == []
+
+
+class TestServiceWorkload:
+    def test_load_generator_drives_the_service(self, tmp_path):
+        from repro.service import FlorService
+        from repro.webapp.framework import TestClient
+        from repro.workloads import ServiceWorkload
+
+        service = FlorService(tmp_path / "svc", flush_size=8, flush_interval=None)
+        try:
+            workload = ServiceWorkload(
+                clients=4, requests_per_client=5, records_per_request=2, projects=2
+            )
+            result = workload.run(TestClient(service.app()))
+            assert result.errors == 0
+            assert result.requests == 20
+            assert result.records == workload.total_records == 40
+            assert len(result.latencies) == 20
+            assert result.records_per_second > 0
+            # Every acknowledged record is durable once the shards flush.
+            total = 0
+            for name in workload.project_names():
+                with service.pool.checkout(name) as shard:
+                    shard.flush()
+                    total += shard.session.db.count("logs")
+            assert total == 40
+        finally:
+            service.close()
+
+    def test_percentiles_are_monotone(self):
+        from repro.workloads import ServiceLoadReport
+
+        report = ServiceLoadReport(
+            requests=5, records=5, seconds=1.0, latencies=[0.5, 0.1, 0.3, 0.2, 0.4]
+        )
+        assert report.percentile(0) == 0.1
+        assert report.percentile(50) == 0.3
+        assert report.percentile(100) == 0.5
+        assert report.percentile(50) <= report.percentile(99)
+
+    def test_empty_report_percentile_is_zero(self):
+        from repro.workloads import ServiceLoadReport
+
+        report = ServiceLoadReport(requests=0, records=0, seconds=0.0)
+        assert report.percentile(99) == 0.0

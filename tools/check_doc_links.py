@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check that internal Markdown links resolve.
+
+Walks the Markdown files given on the command line (files or directories),
+extracts ``[text](target)`` links, and verifies that every *internal*
+target exists:
+
+* relative file targets must name a file or directory in the repo
+  (resolved against the linking file's directory),
+* pure-fragment targets (``#section``) must match a heading in the same
+  file, using GitHub's slug rules (lowercase, punctuation dropped, spaces
+  to hyphens),
+* ``http(s)://`` and ``mailto:`` targets are skipped — CI must not depend
+  on the network.
+
+Exit status is the number of broken links, so CI can run simply::
+
+    python tools/check_doc_links.py README.md docs
+
+This is the docs job's backstop (see .github/workflows/ci.yml); run it
+locally before committing documentation changes.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, drop punctuation, '-' for spaces."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(markdown):
+        base = github_slug(match.group(1))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {argument}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def check_file(md_file: Path) -> list[str]:
+    """Return one human-readable error per broken link in ``md_file``."""
+    errors: list[str] = []
+    text = md_file.read_text(encoding="utf-8")
+    own_slugs = heading_slugs(text)
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        lineno = text.count("\n", 0, match.start()) + 1
+        if target.startswith("#"):
+            if target[1:] not in own_slugs:
+                errors.append(f"{md_file}:{lineno}: no heading for anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (md_file.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_file}:{lineno}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if anchor not in slugs:
+                errors.append(
+                    f"{md_file}:{lineno}: {target!r} anchor #{anchor} not found in {resolved.name}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    files = collect_files(argv)
+    errors: list[str] = []
+    for md_file in files:
+        errors.extend(check_file(md_file))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(files)
+    print(f"checked {checked} markdown file(s): {len(errors)} broken link(s)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
