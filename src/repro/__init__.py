@@ -48,6 +48,7 @@ from .core.replay import ReplayPlan
 from .core.session import Session, active_session
 from .dataframe import DataFrame
 from .errors import ReproError
+from .query import PivotViewCache, QueryEngine
 
 __version__ = "1.0.0"
 
@@ -61,6 +62,8 @@ __all__ = [
     "BackfillReport",
     "ReplayPlan",
     "DataFrame",
+    "QueryEngine",
+    "PivotViewCache",
     "ReproError",
     "__version__",
 ]

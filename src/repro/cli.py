@@ -10,7 +10,12 @@ Subcommands
 ``names``      list every log name recorded for the project
 ``versions``   list version epochs (ts2vid joined with commit metadata)
 ``dataframe``  print the pivoted view of one or more log names
+               (``--since``/``--until`` push a timestamp range into SQLite)
 ``sql``        run a read-only SQL statement (optionally over a pivoted view)
+
+Both query subcommands route through the session's
+:class:`~repro.query.QueryEngine` — the same pushdown + pivot-cache path
+the Python API and the HTTP service use.
 ``stats``      table row counts and storage summary
 ``backfill``   multiversion hindsight logging for a script in the project
 ``build``      incremental (optionally parallel) build of a Makefile target
@@ -79,11 +84,12 @@ def _cmd_versions(args: argparse.Namespace) -> int:
 
 def _cmd_dataframe(args: argparse.Namespace) -> int:
     with _open_session(args) as session:
-        frame = session.dataframe(*args.names)
-        if args.latest:
-            from .relational.queries import latest
-
-            frame = latest(frame)
+        tstamp_range = None
+        if args.since or args.until:
+            tstamp_range = (args.since, args.until)
+        frame = session.dataframe(
+            *args.names, latest=args.latest, tstamp_range=tstamp_range
+        )
         print(frame.to_string(max_rows=args.max_rows))
     return 0
 
@@ -201,6 +207,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("dataframe", help="print the pivoted view of log names")
     sub.add_argument("names", nargs="+", help="log names to pivot into columns")
     sub.add_argument("--latest", action="store_true", help="only rows of the newest run")
+    sub.add_argument("--since", default=None, help="only runs with tstamp >= SINCE (pushed into SQLite)")
+    sub.add_argument("--until", default=None, help="only runs with tstamp <= UNTIL (pushed into SQLite)")
     sub.add_argument("--max-rows", type=int, default=50)
     sub.set_defaults(func=_cmd_dataframe)
 

@@ -12,18 +12,28 @@ defines the pivot semantics used throughout the reproduction:
    ``(projid, tstamp, filename, dimensions...)``.  Values logged at a
    shallower nesting level than the group's deepest level are broadcast down
    to the deeper rows of the same run (e.g. a per-epoch ``acc`` repeats on
-   every per-step ``loss`` row).
+   every per-step ``loss`` row); when several shallow records share a
+   position the **last** write wins, matching append order.
 3. Groups that never co-occur (e.g. ``first_page`` logged by
    ``featurize.py`` and ``page_color`` logged by the feedback web app) are
    combined left-to-right with a left join on ``projid`` plus the dimension
    columns they share.  The joined row keeps the left group's ``filename``
    and the later of the two timestamps, which lets ``flor.utils.latest``
    select the most recent feedback exactly as in Figure 6 of the paper.
+
+The pivot is computed **per run** and composed afterwards: one
+:class:`RunPivot` per ``(projid, tstamp, filename)`` run, concatenated in
+first-appearance order, then cross-group joins.  Run granularity is what
+makes the view incrementally maintainable — the materialized pivot-view
+cache in :mod:`repro.query` re-pivots only the runs an append touched and
+reuses every other run's rows verbatim, going through the *same* functions
+as the cold rebuild below so the two paths agree by construction.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..dataframe import DataFrame, from_records, merge
 from ..relational.database import Database
@@ -32,47 +42,68 @@ from ..relational.queries import AnnotatedLog, BASE_DIMENSIONS, long_format_reco
 #: Columns that identify a run (as opposed to a loop position within a run).
 RUN_COLUMNS = list(BASE_DIMENSIONS)
 
+#: A run is identified by ``(projid, tstamp, filename)``.
+RunKey = tuple[str, str, str]
 
-def build_dataframe(db: Database, projid: str, names: Sequence[str]) -> DataFrame:
-    """Build the pivoted view for ``names`` (see module docstring for semantics)."""
+
+def build_dataframe(
+    db: Database,
+    projid: str,
+    names: Sequence[str],
+    *,
+    tstamp_range: tuple[str | None, str | None] | None = None,
+) -> DataFrame:
+    """Build the pivoted view for ``names`` (see module docstring for semantics).
+
+    This is the *cold* path: it fetches the annotated records through the
+    relational pushdown layer and pivots from scratch.  ``tstamp_range``
+    bounds the scan inside SQLite.  Cached, incrementally-maintained reads
+    go through :class:`repro.query.QueryEngine` instead, which reuses the
+    pivot primitives below.
+    """
     names = [str(n) for n in names]
     if not names:
         return DataFrame()
-    records = long_format_records(db, projid, names)
+    records = long_format_records(db, projid, names, tstamp_range=tstamp_range)
     if not records:
         return from_records([], columns=RUN_COLUMNS + names)
-    groups = _co_occurrence_groups(records, names)
-    frames = [_pivot_group(records, group) for group in groups]
-    frames = [f for f in frames if not f.empty]
-    if not frames:
-        return from_records([], columns=RUN_COLUMNS + names)
-    result = frames[0]
-    for frame in frames[1:]:
-        result = _join_groups(result, frame)
-    # Requested names that were never logged still appear as all-null columns,
-    # so queries like Figure 6's ``infer.page_color.isna()`` work before any
-    # feedback exists.
-    for name in names:
-        if name not in result:
-            result[name] = [None] * len(result)
-    return _order_columns(result, names)
+    groups = co_occurrence_groups(runs_by_name_from_records(records, names), names)
+    by_run = records_by_run(records)
+    frames = []
+    for group in groups:
+        wanted = set(group)
+        pivots = [pivot_run(run_key, recs, wanted) for run_key, recs in by_run.items()]
+        frames.append(compose_group(pivots, group))
+    return finalize(frames, names)
 
 
 # ---------------------------------------------------------------------------
 # Grouping
 # ---------------------------------------------------------------------------
 
-def _co_occurrence_groups(records: list[AnnotatedLog], names: Sequence[str]) -> list[list[str]]:
+def runs_by_name_from_records(
+    records: Iterable[AnnotatedLog], names: Sequence[str]
+) -> dict[str, set[tuple[str, str]]]:
+    """Map each requested name to the set of ``(tstamp, filename)`` runs using it."""
+    runs_by_name: dict[str, set[tuple[str, str]]] = {name: set() for name in names}
+    for record in records:
+        if record.value_name in runs_by_name:
+            runs_by_name[record.value_name].add((record.tstamp, record.filename))
+    return runs_by_name
+
+
+def co_occurrence_groups(
+    runs_by_name: Mapping[str, set[tuple[str, str]]], names: Sequence[str]
+) -> list[list[str]]:
     """Partition requested names into groups that co-occur within some run.
 
     Group order follows the order of ``names`` so that the first requested
     name anchors the left side of any cross-group join (Figure 6 relies on
     this: ``dataframe("first_page", "page_color")`` keeps every page row).
+    The *partition* itself is order-independent — co-occurrence is symmetric
+    — which is what lets the pivot-view cache serve every permutation of the
+    same name set from one entry.
     """
-    runs_by_name: dict[str, set[tuple[str, str]]] = {name: set() for name in names}
-    for record in records:
-        if record.value_name in runs_by_name:
-            runs_by_name[record.value_name].add((record.tstamp, record.filename))
     groups: list[list[str]] = []
     assigned: set[str] = set()
     for name in names:
@@ -94,81 +125,116 @@ def _co_occurrence_groups(records: list[AnnotatedLog], names: Sequence[str]) -> 
     return groups
 
 
+def records_by_run(records: Iterable[AnnotatedLog]) -> dict[RunKey, list[AnnotatedLog]]:
+    """Bucket annotated records per run, runs in first-appearance order."""
+    by_run: dict[RunKey, list[AnnotatedLog]] = {}
+    for record in records:
+        key = (record.projid, record.tstamp, record.filename)
+        by_run.setdefault(key, []).append(record)
+    return by_run
+
+
 # ---------------------------------------------------------------------------
-# Pivoting one group
+# Pivoting one run of one group
 # ---------------------------------------------------------------------------
 
-def _pivot_group(records: list[AnnotatedLog], group: list[str]) -> DataFrame:
-    """Pivot the records of one co-occurrence group into a wide frame."""
-    wanted = set(group)
-    group_records = [r for r in records if r.value_name in wanted]
-    if not group_records:
-        return DataFrame()
-    dim_order = _dimension_order(group_records)
+@dataclass
+class RunPivot:
+    """The pivoted rows of one run, restricted to one co-occurrence group.
 
-    # Index records per run so that broadcasting stays within a run.
-    runs: dict[tuple[str, str, str], list[AnnotatedLog]] = {}
-    for record in group_records:
-        runs.setdefault((record.projid, record.tstamp, record.filename), []).append(record)
+    ``rows`` are complete row dicts in emission order; ``dim_order`` lists
+    the run's loop names outermost-first as they first appeared.  The pivot
+    of a group is the concatenation of its runs' rows (:func:`compose_group`)
+    — this is the unit the incremental cache recomputes when a run changes.
+    """
+
+    run_key: RunKey
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    dim_order: list[str] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.rows
+
+
+def pivot_run(
+    run_key: RunKey, records: Iterable[AnnotatedLog], group_names: set[str]
+) -> RunPivot:
+    """Pivot one run's records (filtered to ``group_names``) into wide rows.
+
+    Records at the run's deepest nesting level key the rows; shallower
+    records broadcast onto every row whose dimension tuple extends theirs,
+    with last-write-wins semantics when several shallow records target the
+    same position (broadcasts follow append order, so re-logged values
+    overwrite — the regression pinned by the dataframe-view tests).
+    """
+    run_records = [r for r in records if r.value_name in group_names]
+    if not run_records:
+        return RunPivot(run_key)
+    dim_order: list[str] = []
+    for record in run_records:
+        for dim in record.dimensions:
+            if dim not in dim_order:
+                dim_order.append(dim)
+    max_depth = max(r.depth for r in run_records)
+    deep_records = [r for r in run_records if r.depth == max_depth]
+    shallow_records = [r for r in run_records if r.depth < max_depth]
 
     rows: dict[tuple, dict[str, Any]] = {}
     row_order: list[tuple] = []
-    for run_key, run_records in runs.items():
-        max_depth = max(r.depth for r in run_records)
-        deep_records = [r for r in run_records if r.depth == max_depth]
-        shallow_records = [r for r in run_records if r.depth < max_depth]
-        if not deep_records:
-            deep_records = run_records
-            shallow_records = []
-        for record in deep_records:
-            key = run_key + record.dimension_key()
+    for record in deep_records:
+        key = record.dimension_key()
+        if key not in rows:
+            rows[key] = _new_row(record)
+            row_order.append(key)
+        rows[key][record.value_name] = record.value
+    for record in shallow_records:
+        prefix = record.dimension_key()
+        matched = False
+        for key in row_order:
+            if key[: len(prefix)] == prefix:
+                rows[key][record.value_name] = record.value
+                matched = True
+        if not matched:
+            key = prefix
             if key not in rows:
-                rows[key] = _new_row(record, dim_order)
+                rows[key] = _new_row(record)
                 row_order.append(key)
             rows[key][record.value_name] = record.value
-        for record in shallow_records:
-            prefix = record.dimension_key()
-            matched = False
-            for key in row_order:
-                if key[:3] != run_key:
-                    continue
-                if key[3: 3 + len(prefix)] == prefix:
-                    rows[key].setdefault(record.value_name, record.value)
-                    rows[key][record.value_name] = record.value
-                    matched = True
-            if not matched:
-                key = run_key + prefix
-                if key not in rows:
-                    rows[key] = _new_row(record, dim_order)
-                    row_order.append(key)
-                rows[key][record.value_name] = record.value
-    columns = RUN_COLUMNS + _dimension_columns(dim_order) + group
-    return from_records((rows[key] for key in row_order), columns)
+    return RunPivot(run_key, [rows[key] for key in row_order], dim_order)
 
 
-def _new_row(record: AnnotatedLog, dim_order: list[str]) -> dict[str, Any]:
+def _new_row(record: AnnotatedLog) -> dict[str, Any]:
     row: dict[str, Any] = {
         "projid": record.projid,
         "tstamp": record.tstamp,
         "filename": record.filename,
     }
-    for dim in dim_order:
-        row[dim] = record.dimensions.get(dim)
-        row[f"{dim}_value"] = record.dimension_values.get(f"{dim}_value")
+    row.update(record.dimensions)
+    row.update(record.dimension_values)
     return row
 
 
-def _dimension_order(records: list[AnnotatedLog]) -> list[str]:
-    """Loop names ordered outermost-first as they appear across records."""
-    order: list[str] = []
-    for record in records:
-        for dim in record.dimensions:
-            if dim not in order:
-                order.append(dim)
-    return order
+def compose_group(run_pivots: Iterable[RunPivot], group: Sequence[str]) -> DataFrame:
+    """Concatenate a group's per-run pivots into one wide frame.
+
+    Dimension columns merge across runs in run order (first-seen); rows keep
+    per-run emission order.  Cells for dimensions a run never entered come
+    back null, exactly as in a from-scratch pivot.
+    """
+    pivots = [p for p in run_pivots if not p.empty]
+    if not pivots:
+        return DataFrame()
+    dim_order: list[str] = []
+    for pivot in pivots:
+        for dim in pivot.dim_order:
+            if dim not in dim_order:
+                dim_order.append(dim)
+    columns = RUN_COLUMNS + _dimension_columns(dim_order) + list(group)
+    return from_records((row for pivot in pivots for row in pivot.rows), columns)
 
 
-def _dimension_columns(dim_order: list[str]) -> list[str]:
+def _dimension_columns(dim_order: Sequence[str]) -> list[str]:
     columns: list[str] = []
     for dim in dim_order:
         columns.append(dim)
@@ -177,8 +243,27 @@ def _dimension_columns(dim_order: list[str]) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
-# Joining groups
+# Joining groups and finishing the view
 # ---------------------------------------------------------------------------
+
+def finalize(frames: Sequence[DataFrame], names: Sequence[str]) -> DataFrame:
+    """Fold group frames left-to-right and settle the output schema.
+
+    Requested names that were never logged still appear as all-null columns,
+    so queries like Figure 6's ``infer.page_color.isna()`` work before any
+    feedback exists.
+    """
+    frames = [f for f in frames if not f.empty]
+    if not frames:
+        return from_records([], columns=RUN_COLUMNS + list(names))
+    result = frames[0]
+    for frame in frames[1:]:
+        result = _join_groups(result, frame)
+    for name in names:
+        if name not in result:
+            result[name] = [None] * len(result)
+    return _order_columns(result, names)
+
 
 def _join_groups(left: DataFrame, right: DataFrame) -> DataFrame:
     """Left-join two group pivots on projid plus their shared dimension values.

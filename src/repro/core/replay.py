@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..config import ProjectConfig
-from ..errors import ReplayError
 from ..relational.database import Database
 from .session import REPLAY, Session, active_session
 

@@ -94,6 +94,10 @@ class Session:
     cli_args:
         Explicit argument mapping consulted by ``arg()`` before falling back
         to ``sys.argv`` and then to defaults.
+    query_cache:
+        Optional shared :class:`~repro.query.PivotViewCache` backing this
+        session's query engine (the service layer shares one per shard); a
+        private cache is created lazily when omitted.
     """
 
     def __init__(
@@ -108,6 +112,7 @@ class Session:
         replay_plan: "Any | None" = None,
         cli_args: Mapping[str, Any] | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
+        query_cache: "Any | None" = None,
     ):
         if mode not in (RECORD, REPLAY):
             raise RecordingError(f"unknown session mode: {mode!r}")
@@ -129,6 +134,8 @@ class Session:
         self._pending_logs: list[LogRecord] = []
         self._pending_loops: list[LoopRecord] = []
         self._ckpt_block_depth: dict[str, int] = {}
+        self._query_cache = query_cache
+        self._query_engine: "Any | None" = None
         self._replay_plan = replay_plan
         self.replay_stats = {"iterations_executed": 0, "iterations_skipped": 0, "checkpoints_restored": 0}
         if mode == REPLAY:
@@ -516,13 +523,28 @@ class Session:
 
     # ---------------------------------------------------------------- commit
     def flush(self) -> None:
-        """Write buffered log and loop records to the database."""
+        """Write buffered log and loop records to the database.
+
+        A flush that wrote anything bumps the query cache's generation
+        counter for this project, so materialized pivot views notice the
+        append on their next read (and merge just the delta).
+        """
+        wrote = bool(self._pending_loops or self._pending_logs)
         if self._pending_loops:
             self.loops.add_many(self._pending_loops)
             self._pending_loops = []
         if self._pending_logs:
             self.logs.add_many(self._pending_logs)
             self._pending_logs = []
+        if wrote:
+            if self._query_engine is not None:
+                self._query_engine.note_write()
+            elif self._query_cache is not None:
+                # A shared cache must learn about this write even though this
+                # session never read through it — another engine on a
+                # different database handle sees neither our write_version
+                # nor (without this) a generation bump.
+                self._query_cache.bump_generation(self.projid)
 
     def commit(self, message: str = "", root_target: str | None = None) -> str | None:
         """Application-level transaction commit (``flor.commit`` in the paper).
@@ -551,30 +573,49 @@ class Session:
         return commit.vid
 
     # ------------------------------------------------------------- dataframe
-    def dataframe(self, *names: str):
-        """Pivoted view of the requested log names (``flor.dataframe``)."""
-        from .dataframe_view import build_dataframe
+    @property
+    def query(self) -> "Any":
+        """This session's :class:`~repro.query.QueryEngine` (created lazily).
 
+        One engine per session; in the service layer that makes its pivot
+        cache the per-shard cache, warm across every request that checks
+        out the shard.
+        """
+        if self._query_engine is None:
+            from ..query import QueryEngine
+
+            self._query_engine = QueryEngine(self.db, self.projid, cache=self._query_cache)
+        return self._query_engine
+
+    def dataframe(
+        self,
+        *names: str,
+        latest: bool = False,
+        tstamp_range: tuple[str | None, str | None] | None = None,
+    ):
+        """Pivoted view of the requested log names (``flor.dataframe``).
+
+        Served by the query engine: repeated reads hit the materialized
+        view, appends since the last read merge incrementally, and
+        ``tstamp_range`` pushes an inclusive ``(since, until)`` bound into
+        the SQLite scan.  ``latest`` keeps only the newest run's rows.
+        """
         self.flush()
-        return build_dataframe(self.db, self.projid, list(names))
+        return self.query.dataframe(*names, latest=latest, tstamp_range=tstamp_range)
 
     def sql(self, query: str, names: Sequence[str] = (), params: Sequence[Any] = ()):
         """Read-only SQL over the context store (the paper's "or SQL" path).
 
         Without ``names`` the query runs directly against the physical tables
         of Figure 1.  With ``names`` the pivoted view of those log names is
-        materialized as a temporary ``pivot`` table first, so run-level
-        questions become plain SQL::
+        materialized as a temporary ``pivot`` table first — backed by the
+        query engine's cached view — so run-level questions become plain SQL::
 
             session.sql("SELECT tstamp, MAX(recall) AS best FROM pivot GROUP BY tstamp",
                         names=["recall"])
         """
-        from ..relational.sql import run_sql, sql_over_names
-
         self.flush()
-        if names:
-            return sql_over_names(self.db, self.projid, list(names), query, params)
-        return run_sql(self.db, query, params)
+        return self.query.sql(query, names=names, params=params)
 
 
 def _coerce_like(value: Any, default: Any) -> Any:

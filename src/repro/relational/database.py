@@ -59,6 +59,19 @@ class Database:
     def __exit__(self, *_exc: Any) -> None:
         self.close()
 
+    @property
+    def write_version(self) -> int:
+        """Monotonic count of rows written through this handle.
+
+        Backed by ``sqlite3``'s ``total_changes``: every INSERT/UPDATE/DELETE
+        committed through this connection advances it, reads never do.  The
+        query engine's pivot-view cache uses it as a zero-cost staleness
+        probe — any writer sharing this handle (sessions, the ingestion
+        queue, replay backfills) is detected without a single SQL statement.
+        """
+        with self._lock:
+            return self._connection.total_changes
+
     # ----------------------------------------------------------- execution
     @contextmanager
     def transaction(self) -> Iterator[sqlite3.Connection]:

@@ -34,6 +34,14 @@ CREATE TABLE IF NOT EXISTS logs (
 );
 CREATE INDEX IF NOT EXISTS idx_logs_name ON logs (projid, value_name);
 CREATE INDEX IF NOT EXISTS idx_logs_ctx ON logs (projid, tstamp, filename, ctx_id);
+-- Covering index for the query engine's pushdown scans: a name-filtered
+-- read (the flor.dataframe hot path) is answered entirely from the index,
+-- and the trailing columns let SQLite skip the rowid lookup per match.
+CREATE INDEX IF NOT EXISTS idx_logs_pushdown
+    ON logs (projid, value_name, tstamp, filename, ctx_id, value_type, value);
+-- Range pushdown (--since/--until, latest-run reads) ordered by append
+-- sequence within a run.
+CREATE INDEX IF NOT EXISTS idx_logs_tstamp ON logs (projid, tstamp, seq);
 
 CREATE TABLE IF NOT EXISTS loops (
     projid          TEXT NOT NULL,
@@ -47,6 +55,11 @@ CREATE TABLE IF NOT EXISTS loops (
     PRIMARY KEY (projid, tstamp, filename, ctx_id)
 );
 CREATE INDEX IF NOT EXISTS idx_loops_parent ON loops (projid, tstamp, filename, parent_ctx_id);
+-- Covering index for the run-scoped ancestry join: fetching every loop row
+-- of one (tstamp, filename) run never touches the base table.
+CREATE INDEX IF NOT EXISTS idx_loops_ancestry
+    ON loops (projid, tstamp, filename, ctx_id, parent_ctx_id,
+              loop_name, loop_iteration, iteration_value);
 
 CREATE TABLE IF NOT EXISTS ts2vid (
     projid          TEXT NOT NULL,

@@ -90,18 +90,22 @@ def register_pivot_view(
     projid: str,
     names: Sequence[str],
     table_name: str = "pivot",
+    frame: DataFrame | None = None,
 ) -> list[str]:
     """Materialize the pivoted view of ``names`` into a temporary table.
 
     Returns the column names of the created table.  The table lives in the
     connection's temp schema, so it never dirties the durable database and
-    is rebuilt on demand (the pivot is cheap relative to replay).
+    is rebuilt on demand.  ``frame`` supplies a pre-built pivot — the query
+    engine passes its cached view here so SQL reads share the materialized
+    views instead of re-pivoting.
     """
     from ..core.dataframe_view import build_dataframe
 
     if not _IDENTIFIER_RE.match(table_name):
         raise DatabaseError(f"invalid table name: {table_name!r}")
-    frame = build_dataframe(db, projid, list(names))
+    if frame is None:
+        frame = build_dataframe(db, projid, list(names))
     columns = frame.columns or ["projid", "tstamp", "filename", *names]
     quoted = [_quote_identifier(c) for c in columns]
     with db.transaction() as connection:
@@ -139,14 +143,16 @@ def sql_over_names(
     sql: str,
     params: Sequence[Any] = (),
     table_name: str = "pivot",
+    frame: DataFrame | None = None,
 ) -> DataFrame:
     """Materialize the pivoted view of ``names`` and run ``sql`` against it.
 
-    The statement refers to the view by ``table_name`` (default ``pivot``)::
+    The statement refers to the view by ``table_name`` (default ``pivot``);
+    ``frame`` optionally supplies the pivot (see :func:`register_pivot_view`)::
 
         sql_over_names(db, "proj", ["acc", "recall"],
                        "SELECT tstamp, MAX(recall) AS best FROM pivot GROUP BY tstamp")
     """
     _require_read_only(sql)
-    register_pivot_view(db, projid, names, table_name)
+    register_pivot_view(db, projid, names, table_name, frame=frame)
     return run_sql(db, sql, params)

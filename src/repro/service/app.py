@@ -18,7 +18,11 @@ Routes (all JSON; ``<name>`` is a tenant/project name):
 Reads flush before querying, so a client always reads its own writes even
 when its records are still queued.  Handlers run under the shard's lock
 (see :mod:`repro.service.pool`), which makes the service safe to drive
-from many threads — the shape the T8 benchmark measures.
+from many threads — the shape the T8 benchmark measures.  Dataframe and
+SQL reads are served by the shard's :class:`~repro.query.QueryEngine`:
+the pivoted view stays materialized across requests, ingestion flushes
+invalidate it via generation counters, and only the appended delta is
+merged on the next read (benchmark T9 measures the effect).
 """
 
 from __future__ import annotations
@@ -236,11 +240,9 @@ def create_app(service: FlorService) -> WebApp:
             raise HttpError(400, "the 'names' query parameter is required (comma-separated)")
         with pool.checkout(_existing(name)) as shard:
             shard.flush()
-            frame = shard.session.dataframe(*names)
-            if request.arg("latest") in ("1", "true", "yes"):
-                from ..relational.queries import latest
-
-                frame = latest(frame)
+            frame = shard.session.dataframe(
+                *names, latest=request.arg("latest") in ("1", "true", "yes")
+            )
             return JsonResponse(
                 {"columns": frame.columns, "records": frame.to_records(), "rows": len(frame)}
             )
@@ -276,6 +278,7 @@ def create_app(service: FlorService) -> WebApp:
                     "tables": tables,
                     "pending": shard.queue.pending if shard.queue else 0,
                     "ingest": shard.queue.stats.as_dict() if shard.queue else {},
+                    "query_cache": shard.session.query.stats.as_dict(),
                 }
             )
 

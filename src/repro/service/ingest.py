@@ -82,6 +82,12 @@ class IngestionQueue:
     clock:
         Monotonic time source; injectable so tests drive the interval
         trigger deterministically.
+    on_flush:
+        Called with the record count after every flush that wrote rows.
+        The pool wires this to the shard's query-cache invalidation
+        (:meth:`~repro.query.QueryEngine.note_write`), so batched ingestion
+        — which writes straight to the database, bypassing the session's
+        buffers — still marks materialized pivot views stale.
     """
 
     db: Database
@@ -89,6 +95,7 @@ class IngestionQueue:
     flush_interval: float | None = 0.5
     clock: Callable[[], float] = time.monotonic
     stats: IngestStats = field(default_factory=IngestStats)
+    on_flush: Callable[[int], None] | None = None
 
     def __post_init__(self) -> None:
         if self.flush_size < 1:
@@ -165,4 +172,6 @@ class IngestionQueue:
             self.stats.interval_flushes += 1
         else:
             self.stats.explicit_flushes += 1
+        if self.on_flush is not None:
+            self.on_flush(count)
         return count

@@ -127,8 +127,15 @@ class DatabasePool:
     def _default_factory(self, name: str) -> ProjectShard:
         config = ProjectConfig(self.root / name, name)
         session = Session(config, default_filename=SERVICE_FILENAME)
+        # The session's query engine carries the shard's materialized pivot
+        # views (one cache per shard, warm across requests).  The ingestion
+        # queue writes straight to the database, so each of its flushes must
+        # bump the cache generation the same way Session.flush does.
         queue = IngestionQueue(
-            session.db, flush_size=self.flush_size, flush_interval=self.flush_interval
+            session.db,
+            flush_size=self.flush_size,
+            flush_interval=self.flush_interval,
+            on_flush=lambda _count: session.query.note_write(),
         )
         return ProjectShard(name, session, queue)
 

@@ -31,6 +31,27 @@ class TestSingleRunPivot:
         assert by_epoch[0] == {0.9}
         assert by_epoch[1] == {0.91}
 
+    def test_broadcast_is_last_write_wins(self, session):
+        """Re-logging a shallow value overwrites its earlier broadcast.
+
+        Regression for the dead ``setdefault``-then-overwrite in the
+        broadcast loop: when the same name is logged twice at the same
+        shallow position, append order decides — the later value must land
+        on every deeper row, exactly as it would for deep-level re-logs.
+        """
+        for epoch in session.loop("epoch", range(2)):
+            for step in session.loop("step", range(2)):
+                session.log("loss", epoch * 10 + step)
+            session.log("acc", 0.1)  # provisional value...
+            session.log("acc", 0.9 + epoch)  # ...corrected before the epoch ends
+        frame = session.dataframe("loss", "acc")
+        assert len(frame) == 4
+        by_epoch = {}
+        for row in frame.to_records():
+            by_epoch.setdefault(row["epoch"], set()).add(row["acc"])
+        assert by_epoch[0] == {0.9}
+        assert by_epoch[1] == {1.9}
+
     def test_dimension_value_columns_present(self, session):
         for doc in session.loop("document", ["a.pdf", "b.pdf"]):
             session.log("n_pages", len(doc))

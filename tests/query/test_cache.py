@@ -1,0 +1,169 @@
+"""Tests for the materialized pivot-view cache (repro.query.cache).
+
+The invariant under test throughout: whatever tier serves a read — fast,
+warm, incremental, or cold — the frame must equal a from-scratch
+``build_dataframe`` over the same database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataframe_view import build_dataframe
+from repro.query import PivotViewCache
+from repro.relational.records import LogRecord, LoopRecord
+from repro.relational.repositories import LogRepository, LoopRepository
+
+
+def add_run(db, tstamp: str, *, loops: int = 3, names=("loss", "acc"), filename="train.py"):
+    """One run of `loops` epoch iterations, each logging every name."""
+    loop_repo, log_repo = LoopRepository(db), LogRepository(db)
+    loop_rows, log_rows = [], []
+    for i in range(loops):
+        ctx = i + 1
+        loop_rows.append(LoopRecord("p", tstamp, filename, ctx, 0, "epoch", i, str(i)))
+        for j, name in enumerate(names):
+            log_rows.append(LogRecord.create("p", tstamp, filename, ctx, name, i + j * 0.1))
+    loop_repo.add_many(loop_rows)
+    log_repo.add_many(log_rows)
+
+
+class TestTiers:
+    def test_cold_build_equals_rebuild(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        frame = cache.dataframe(db, "p", ["loss", "acc"])
+        assert frame.equals(build_dataframe(db, "p", ["loss", "acc"]))
+        assert cache.stats.cold_builds == 1
+
+    def test_fast_hit_serves_without_watermark_probe(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        first = cache.dataframe(db, "p", ["loss"])
+        second = cache.dataframe(db, "p", ["loss"])
+        assert second.equals(first)
+        assert cache.stats.fast_hits == 1
+        assert cache.stats.cold_builds == 1
+
+    def test_generation_bump_revalidates_to_warm_hit(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        cache.dataframe(db, "p", ["loss"])
+        cache.bump_generation("p")
+        frame = cache.dataframe(db, "p", ["loss"])
+        assert cache.stats.warm_hits == 1
+        assert frame.equals(build_dataframe(db, "p", ["loss"]))
+
+    def test_append_triggers_incremental_refresh(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        cache.dataframe(db, "p", ["loss", "acc"])
+        add_run(db, "t2")
+        cache.bump_generation("p")
+        frame = cache.dataframe(db, "p", ["loss", "acc"])
+        assert cache.stats.incremental_refreshes == 1
+        assert len(frame) == 6
+        assert frame.equals(build_dataframe(db, "p", ["loss", "acc"]))
+
+    def test_shared_handle_write_detected_without_generation_bump(self, db):
+        """Writers sharing the Database handle are caught via write_version."""
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        cache.dataframe(db, "p", ["loss"])
+        add_run(db, "t2")  # no bump_generation on purpose
+        frame = cache.dataframe(db, "p", ["loss"])
+        assert frame.equals(build_dataframe(db, "p", ["loss"]))
+        assert cache.stats.fast_hits == 0
+
+    def test_incremental_append_to_existing_run(self, db):
+        """New records for an already-cached run merge into its rows."""
+        add_run(db, "t1", loops=2)
+        cache = PivotViewCache()
+        cache.dataframe(db, "p", ["loss", "acc"])
+        # The same run keeps going: two more epochs arrive later.
+        loop_repo, log_repo = LoopRepository(db), LogRepository(db)
+        for i in (2, 3):
+            ctx = i + 1
+            loop_repo.add(LoopRecord("p", "t1", "train.py", ctx, 0, "epoch", i, str(i)))
+            log_repo.add(LogRecord.create("p", "t1", "train.py", ctx, "loss", float(i)))
+            log_repo.add(LogRecord.create("p", "t1", "train.py", ctx, "acc", i + 0.1))
+        frame = cache.dataframe(db, "p", ["loss", "acc"])
+        assert len(frame) == 4
+        assert frame.equals(build_dataframe(db, "p", ["loss", "acc"]))
+
+
+class TestLoopRewrites:
+    def test_replaced_loop_row_forces_run_reread(self, db):
+        """INSERT OR REPLACE on a cached run's loop must refresh its annotations."""
+        add_run(db, "t1", loops=2)
+        cache = PivotViewCache()
+        before = cache.dataframe(db, "p", ["loss"])
+        assert "0" in before["epoch_value"].to_list()
+        # Rewrite iteration 0's value; same primary key, fresh rowid.
+        LoopRepository(db).add(LoopRecord("p", "t1", "train.py", 1, 0, "epoch", 0, "relabeled"))
+        frame = cache.dataframe(db, "p", ["loss"])
+        assert "relabeled" in frame["epoch_value"].to_list()
+        assert frame.equals(build_dataframe(db, "p", ["loss"]))
+        assert cache.stats.incremental_refreshes == 1
+
+
+class TestPartition:
+    def test_disjoint_names_merge_into_one_group_incrementally(self, db):
+        """A delta run where two names first co-occur must coarsen the partition."""
+        add_run(db, "t1", names=("a_metric",))
+        add_run(db, "t2", names=("b_metric",), filename="infer.py")
+        cache = PivotViewCache()
+        split = cache.dataframe(db, "p", ["a_metric", "b_metric"])
+        assert split.equals(build_dataframe(db, "p", ["a_metric", "b_metric"]))
+        add_run(db, "t3", names=("a_metric", "b_metric"))
+        cache.bump_generation("p")
+        merged = cache.dataframe(db, "p", ["a_metric", "b_metric"])
+        assert merged.equals(build_dataframe(db, "p", ["a_metric", "b_metric"]))
+
+    def test_permutations_share_one_view_state(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        forward = cache.dataframe(db, "p", ["loss", "acc"])
+        backward = cache.dataframe(db, "p", ["acc", "loss"])
+        assert len(cache) == 1
+        assert cache.stats.cold_builds == 1
+        assert forward.columns[-2:] == ["loss", "acc"]
+        assert backward.columns[-2:] == ["acc", "loss"]
+        assert backward.equals(build_dataframe(db, "p", ["acc", "loss"]))
+
+
+class TestLifecycle:
+    def test_returned_frames_are_isolated_copies(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        frame = cache.dataframe(db, "p", ["loss"])
+        frame["loss"] = [None] * len(frame)
+        again = cache.dataframe(db, "p", ["loss"])
+        assert again["loss"].to_list() != frame["loss"].to_list()
+
+    def test_capacity_evicts_coldest_view(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache(capacity=1)
+        cache.dataframe(db, "p", ["loss"])
+        cache.dataframe(db, "p", ["acc"])
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_drops_project_views(self, db):
+        add_run(db, "t1")
+        cache = PivotViewCache()
+        cache.dataframe(db, "p", ["loss"])
+        assert cache.invalidate("p") == 1
+        assert len(cache) == 0
+        cache.dataframe(db, "p", ["loss"])
+        assert cache.stats.cold_builds == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PivotViewCache(capacity=0)
+
+    def test_empty_names_returns_empty_frame(self, db):
+        cache = PivotViewCache()
+        frame = cache.dataframe(db, "p", [])
+        assert frame.empty
+        assert len(cache) == 0

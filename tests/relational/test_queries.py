@@ -79,6 +79,123 @@ class TestLongFormat:
         assert row["epoch"] == 0
 
 
+class TestPushdown:
+    def test_value_names_filter_returns_strict_subset(self, populated_db):
+        """A names filter narrows both the records and the fetched ancestry."""
+        everything = long_format_records(populated_db, "p")
+        only_loss = long_format_records(populated_db, "p", ["loss"])
+        assert {r.value_name for r in only_loss} == {"loss"}
+        assert 0 < len(only_loss) < len(everything)
+        # Pushdown must not change annotation: same records, same dimensions.
+        by_key = {(r.tstamp, r.ctx_id, r.value_name): r for r in everything}
+        for record in only_loss:
+            full = by_key[(record.tstamp, record.ctx_id, record.value_name)]
+            assert record.dimensions == full.dimensions
+            assert record.dimension_values == full.dimension_values
+
+    def test_empty_value_names_returns_nothing(self, populated_db):
+        assert long_format_records(populated_db, "p", []) == []
+
+    def test_tstamp_range_bounds_are_inclusive(self, db):
+        from repro.relational.repositories import LogRepository
+
+        logs = LogRepository(db)
+        for tstamp in ("t1", "t2", "t3"):
+            logs.add(LogRecord.create("p", tstamp, "train.py", 0, "m", 1.0))
+        assert {r.tstamp for r in long_format_records(db, "p", tstamp_range=("t2", None))} == {"t2", "t3"}
+        assert {r.tstamp for r in long_format_records(db, "p", tstamp_range=(None, "t2"))} == {"t1", "t2"}
+        assert {r.tstamp for r in long_format_records(db, "p", tstamp_range=("t2", "t2"))} == {"t2"}
+
+    def test_seq_bounds_select_the_append_delta(self, db):
+        from repro.relational.queries import log_watermark
+        from repro.relational.repositories import LogRepository
+
+        logs = LogRepository(db)
+        logs.add(LogRecord.create("p", "t1", "train.py", 0, "m", 1.0))
+        watermark = log_watermark(db, "p")
+        logs.add(LogRecord.create("p", "t2", "train.py", 0, "m", 2.0))
+        delta = long_format_records(db, "p", min_seq=watermark)
+        assert [r.value for r in delta] == [2.0]
+        upto = long_format_records(db, "p", max_seq=watermark)
+        assert [r.value for r in upto] == [1.0]
+
+    def test_run_keys_restrict_to_named_runs(self, db):
+        from repro.relational.repositories import LogRepository
+
+        logs = LogRepository(db)
+        logs.add(LogRecord.create("p", "t1", "train.py", 0, "m", 1.0))
+        logs.add(LogRecord.create("p", "t1", "infer.py", 0, "m", 2.0))
+        logs.add(LogRecord.create("p", "t2", "train.py", 0, "m", 3.0))
+        records = long_format_records(db, "p", run_keys=[("t1", "train.py")])
+        assert [(r.tstamp, r.filename) for r in records] == [("t1", "train.py")]
+
+    def test_empty_run_keys_returns_nothing(self, db):
+        """Regression: [] must select nothing, not emit 'IN (VALUES )'."""
+        from repro.relational.repositories import LogRepository
+
+        LogRepository(db).add(LogRecord.create("p", "t1", "train.py", 0, "m", 1.0))
+        assert long_format_records(db, "p", run_keys=[]) == []
+
+
+class TestAncestryCycles:
+    def test_loop_ancestry_terminates_on_parent_cycle(self, db):
+        """A corrupted parent chain (a cycle) must not hang or recurse forever."""
+        from repro.relational.repositories import LogRepository, LoopRepository
+
+        loops = LoopRepository(db)
+        loops.add_many(
+            [
+                LoopRecord("p", "t1", "train.py", 1, 2, "outer", 0, "a"),
+                LoopRecord("p", "t1", "train.py", 2, 1, "inner", 0, "b"),
+            ]
+        )
+        LogRepository(db).add(LogRecord.create("p", "t1", "train.py", 2, "m", 1.0))
+        records = long_format_records(db, "p", ["m"])
+        assert len(records) == 1
+        # Each context contributes exactly once despite the cycle.
+        assert records[0].dimensions == {"outer": 0, "inner": 0}
+
+    def test_self_parent_counts_once(self, db):
+        from repro.relational.repositories import LogRepository, LoopRepository
+
+        LoopRepository(db).add(LoopRecord("p", "t1", "train.py", 1, 1, "loop", 3, "x"))
+        LogRepository(db).add(LogRecord.create("p", "t1", "train.py", 1, "m", 1.0))
+        records = long_format_records(db, "p", ["m"])
+        assert records[0].dimensions == {"loop": 3}
+
+
+class TestWatermarks:
+    def test_watermarks_start_at_zero_and_grow(self, db):
+        from repro.relational.queries import (
+            log_watermark,
+            loop_watermark,
+            runs_touched_since,
+        )
+        from repro.relational.repositories import LogRepository, LoopRepository
+
+        assert log_watermark(db, "p") == 0
+        assert loop_watermark(db, "p") == 0
+        LogRepository(db).add(LogRecord.create("p", "t1", "train.py", 0, "m", 1.0))
+        LoopRepository(db).add(LoopRecord("p", "t1", "train.py", 1, 0, "epoch", 0, "0"))
+        assert log_watermark(db, "p") == 1
+        first_loop = loop_watermark(db, "p")
+        assert first_loop >= 1
+        assert runs_touched_since(db, "p", 0) == {("t1", "train.py")}
+        assert runs_touched_since(db, "p", first_loop) == set()
+
+    def test_replace_advances_the_loop_watermark(self, db):
+        """INSERT OR REPLACE rewrites under a fresh rowid — the cache's signal."""
+        from repro.relational.queries import loop_watermark, runs_touched_since
+        from repro.relational.repositories import LoopRepository
+
+        loops = LoopRepository(db)
+        loops.add(LoopRecord("p", "t1", "train.py", 1, 0, "epoch", 0, "before"))
+        watermark = loop_watermark(db, "p")
+        loops.add(LoopRecord("p", "t1", "train.py", 1, 0, "epoch", 0, "after"))
+        assert loop_watermark(db, "p") > watermark
+        assert runs_touched_since(db, "p", watermark) == {("t1", "train.py")}
+
+
 class TestLatest:
     def test_latest_keeps_only_max_tstamp_rows(self):
         frame = DataFrame({"tstamp": ["t1", "t2", "t2"], "v": [1, 2, 3]})
@@ -90,6 +207,20 @@ class TestLatest:
         assert latest(DataFrame()).empty
         frame = DataFrame({"v": [1]})
         assert latest(frame).equals(frame)
+
+    def test_latest_on_empty_frame_with_column_present(self):
+        frame = DataFrame({"tstamp": [], "v": []})
+        assert latest(frame).empty
+
+    def test_latest_when_all_tstamps_are_null(self):
+        frame = DataFrame({"tstamp": [None, None], "v": [1, 2]})
+        result = latest(frame)
+        assert result.equals(frame)  # nothing to rank by; frame passes through
+
+    def test_latest_on_alternate_column(self):
+        frame = DataFrame({"epoch": [1, 3, 3], "v": [1, 2, 3]})
+        result = latest(frame, column="epoch")
+        assert set(result["v"].to_list()) == {2, 3}
 
 
 class TestGitView:

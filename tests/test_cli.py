@@ -52,6 +52,22 @@ class TestQueries:
         latest = capsys.readouterr().out
         assert len(latest.splitlines()) < len(full.splitlines())
 
+    def test_dataframe_since_until_pushdown(self, recorded_project, capsys):
+        """--since/--until bound the scan; an impossible range prints no rows."""
+        root, _ = recorded_project
+        main(["--project", str(root), "dataframe", "loss"])
+        full = capsys.readouterr().out
+        assert main(
+            ["--project", str(root), "dataframe", "loss", "--since", "9999"]
+        ) == 0
+        empty = capsys.readouterr().out
+        assert len(empty.splitlines()) < len(full.splitlines())
+        assert main(
+            ["--project", str(root), "dataframe", "loss", "--since", "0", "--until", "9999"]
+        ) == 0
+        bounded = capsys.readouterr().out
+        assert len(bounded.splitlines()) == len(full.splitlines())
+
     def test_sql_direct_and_pivot(self, recorded_project, capsys):
         root, _ = recorded_project
         assert main(["--project", str(root), "sql", "SELECT COUNT(*) AS n FROM logs"]) == 0
