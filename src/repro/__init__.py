@@ -27,9 +27,16 @@ Subpackages
 ``repro.mlops``       feature-store / model-registry / label-store roles
 ``repro.webapp``      the human-in-the-loop feedback web application
 ``repro.workloads``   synthetic workload generators for the benchmarks
+``repro.runtime``     the record-path runtime: tuple staging with deferred
+                      value encoding, a double-buffered background flusher
+                      (single coalesced transaction per drain, bounded
+                      memory with backpressure, sync mode for replay), and
+                      asynchronous checkpoint serialization with a drain
+                      barrier before restore/commit/close
 ``repro.service``     multi-tenant HTTP service layer: sharded database
                       pool (one SQLite file per project, LRU handle cache),
-                      batched ingestion (one transaction per flush), and
+                      batched ingestion (one batch per flush, riding the
+                      shard's background flusher), and
                       append/commit/dataframe/SQL endpoints behind the
                       ``serve`` CLI subcommand
 
@@ -49,6 +56,7 @@ from .core.session import Session, active_session
 from .dataframe import DataFrame
 from .errors import ReproError
 from .query import PivotViewCache, QueryEngine
+from .runtime import AsyncCheckpointWriter, BackgroundFlusher, RecordBuffer
 
 __version__ = "1.0.0"
 
@@ -64,6 +72,9 @@ __all__ = [
     "DataFrame",
     "QueryEngine",
     "PivotViewCache",
+    "RecordBuffer",
+    "BackgroundFlusher",
+    "AsyncCheckpointWriter",
     "ReproError",
     "__version__",
 ]

@@ -53,7 +53,8 @@ from .relational.schema import TABLES
 
 def _open_session(args: argparse.Namespace) -> Session:
     config = ProjectConfig(Path(args.project), args.projid or "")
-    return Session(config)
+    flush_mode = "sync" if getattr(args, "sync_flush", False) else None
+    return Session(config, flush_mode=flush_mode)
 
 
 def _cmd_names(args: argparse.Namespace) -> int:
@@ -175,6 +176,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_capacity=args.pool_capacity,
         flush_size=args.flush_size,
         flush_interval=None if args.flush_interval <= 0 else args.flush_interval,
+        flush_mode="sync" if args.sync_flush else None,
     )
 
     def ready(host: str, port: int) -> None:
@@ -196,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--project", default=".", help="project root (directory containing .flor)")
     parser.add_argument("--projid", default=None, help="override the project id")
+    parser.add_argument(
+        "--sync-flush",
+        action="store_true",
+        help="write records inline instead of on the background flusher thread",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sub = subparsers.add_parser("names", help="list recorded log names")

@@ -19,6 +19,7 @@ Policies
 
 from __future__ import annotations
 
+import copy
 import math
 import pickle
 import time
@@ -28,6 +29,7 @@ from typing import Any, Mapping, Protocol
 from ..errors import CheckpointError
 from ..relational.records import ObjectRecord
 from ..relational.repositories import ObjectRepository
+from ..runtime import AsyncCheckpointWriter
 
 #: Prefix for checkpoint entries in the obj_store table.
 CHECKPOINT_PREFIX = "ckpt::"
@@ -121,15 +123,36 @@ class CheckpointManager:
     The manager is attached to a recording or replaying session.  In record
     mode it consults its policy at iteration boundaries; in replay mode it
     restores the nearest prior checkpoint when the replay plan skips ahead.
+
+    Cost accounting: ``serialize_seconds`` is strictly the *on-thread* cost
+    per checkpoint (snapshot + pickle when writing inline; snapshot only
+    when an :class:`~repro.runtime.AsyncCheckpointWriter` is attached) and
+    is the only number fed to the policy — the object-store write is I/O
+    the loop never waits on, so charging the policy with it would space
+    checkpoints out far more than the training loop's real overhead
+    warrants.  ``write_seconds`` accumulates everything else (the store
+    write inline; pickle + write when asynchronous).
+
+    With a ``writer``, ``save()`` deep-copies the snapshot and returns; the
+    pickle and store write happen on the writer's thread.  ``restore()``,
+    ``load()`` and ``available_checkpoints()`` drain the writer first so
+    callers never observe a checkpoint that is still in flight.
     """
 
-    def __init__(self, objects: ObjectRepository, policy: CheckpointPolicy | None = None):
+    def __init__(
+        self,
+        objects: ObjectRepository,
+        policy: CheckpointPolicy | None = None,
+        writer: AsyncCheckpointWriter | None = None,
+    ):
         self._objects = objects
         self.policy = policy or AdaptiveCheckpointPolicy()
         self._registered: dict[str, Any] = {}
+        self._writer = writer
         self.saved = 0
         self.restored = 0
         self.serialize_seconds = 0.0
+        self.write_seconds = 0.0
 
     # ---------------------------------------------------------- registration
     def register(self, objects: Mapping[str, Any]) -> None:
@@ -153,6 +176,9 @@ class CheckpointManager:
         """Consult the policy and save a checkpoint if it says so."""
         if not self._registered:
             return False
+        # On-thread cost only: the store write happens off the loop's critical
+        # path (entirely so with an async writer) and must not inflate the
+        # per-checkpoint cost the adaptive policy spaces checkpoints by.
         last_cost = self.serialize_seconds / self.saved if self.saved else 0.0
         if not self.policy.should_checkpoint(iteration, iter_seconds, last_cost):
             return False
@@ -162,10 +188,26 @@ class CheckpointManager:
     def save(self, key: CheckpointKey) -> None:
         """Unconditionally serialize the registered objects under ``key``."""
         start = time.perf_counter()
+        state = self._snapshot_state()
+        if self._writer is not None:
+            # Deep-copy inline so later mutations by the training loop cannot
+            # leak into the checkpoint, then hand pickling and the store
+            # write to the worker.  Unpicklable state surfaces as a
+            # CheckpointError at the next drain barrier.
+            try:
+                snapshot = copy.deepcopy(state)
+            except Exception as exc:
+                raise CheckpointError(f"cannot snapshot checkpoint objects: {exc}") from exc
+            self.serialize_seconds += time.perf_counter() - start
+            self._writer.submit(key, snapshot, on_written=self._account_async_write)
+            self.saved += 1
+            return
         try:
-            payload = pickle.dumps(self._snapshot_state(), protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise CheckpointError(f"cannot serialize checkpoint objects: {exc}") from exc
+        self.serialize_seconds += time.perf_counter() - start
+        written = time.perf_counter()
         self._objects.put(
             ObjectRecord(
                 projid=key.projid,
@@ -176,8 +218,23 @@ class CheckpointManager:
                 contents=payload,
             )
         )
-        self.serialize_seconds += time.perf_counter() - start
+        self.write_seconds += time.perf_counter() - written
         self.saved += 1
+
+    def _account_async_write(self, pickle_seconds: float, write_seconds: float) -> None:
+        # Runs on the writer thread after the off-thread work finishes.
+        self.write_seconds += pickle_seconds + write_seconds
+
+    # ------------------------------------------------------------- lifecycle
+    def drain(self) -> None:
+        """Barrier: block until every in-flight checkpoint write is stored."""
+        if self._writer is not None:
+            self._writer.drain()
+
+    def close(self) -> None:
+        """Drain and stop the async writer (no-op for inline managers)."""
+        if self._writer is not None:
+            self._writer.close()
 
     def _snapshot_state(self) -> dict[str, Any]:
         """Extract picklable state from registered objects.
@@ -195,6 +252,7 @@ class CheckpointManager:
     # --------------------------------------------------------------- restore
     def load(self, key: CheckpointKey) -> dict[str, Any] | None:
         """Load the raw checkpoint payload stored under ``key`` (or None)."""
+        self.drain()
         record = self._objects.get(key.projid, key.tstamp, key.filename, key.ctx_id, key.value_name)
         if record is None:
             return None
@@ -233,6 +291,7 @@ class CheckpointManager:
 
     def available_checkpoints(self, projid: str, tstamp: str, filename: str) -> list[tuple[int, str]]:
         """Return ``(ctx_id, loop_name)`` of all checkpoints stored for a run."""
+        self.drain()
         out = []
         for _ts, _fn, ctx_id, value_name in self._objects.list_keys(projid, tstamp):
             if _fn == filename and value_name.startswith(CHECKPOINT_PREFIX):

@@ -136,16 +136,13 @@ def replay_source(
     except Exception as exc:  # pragma: no cover - error path exercised in tests
         result.error = f"{type(exc).__name__}: {exc}"
     result.wall_seconds = time.perf_counter() - started
-    result.new_log_records = len(session._pending_logs)
-    result.new_loop_records = len(session._pending_loops)
+    result.new_log_records = session.pending_log_records
+    result.new_loop_records = session.pending_loop_records
     result.iterations_executed = session.replay_stats["iterations_executed"]
     result.iterations_skipped = session.replay_stats["iterations_skipped"]
     result.checkpoints_restored = session.replay_stats["checkpoints_restored"]
     if collect_only:
-        result.pending_logs = list(session._pending_logs)
-        result.pending_loops = list(session._pending_loops)
-        session._pending_logs = []
-        session._pending_loops = []
+        result.pending_logs, result.pending_loops = session.take_pending_records()
     else:
         session.flush()
     if db is None:

@@ -41,6 +41,14 @@ from ..relational.repositories import (
     ObjectRepository,
     Ts2VidRepository,
 )
+from ..runtime import (
+    ASYNC,
+    SYNC,
+    AsyncCheckpointWriter,
+    BackgroundFlusher,
+    FlushCallbackError,
+    RecordBuffer,
+)
 from ..versioning.repository import Commit, Repository
 from .checkpoint import CheckpointKey, CheckpointManager, CheckpointPolicy
 from .context import (
@@ -98,6 +106,14 @@ class Session:
         Optional shared :class:`~repro.query.PivotViewCache` backing this
         session's query engine (the service layer shares one per shard); a
         private cache is created lazily when omitted.
+    flush_mode:
+        ``"async"`` (default in record mode) stages records as cheap tuples
+        and drains them to SQLite on a background flusher thread, with
+        checkpoint pickling and store writes likewise moved off-thread;
+        ``"sync"`` (default — and forced semantics-wise — in replay mode,
+        where the sandboxed run should not outlive its thread) executes
+        every flush inline, preserving the pre-runtime behaviour.
+        ``flush()`` is a read-your-writes barrier in both modes.
     """
 
     def __init__(
@@ -113,12 +129,16 @@ class Session:
         cli_args: Mapping[str, Any] | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         query_cache: "Any | None" = None,
+        flush_mode: str | None = None,
     ):
         if mode not in (RECORD, REPLAY):
             raise RecordingError(f"unknown session mode: {mode!r}")
+        if flush_mode not in (None, SYNC, ASYNC):
+            raise RecordingError(f"unknown flush_mode: {flush_mode!r}")
         self.config = (config or ProjectConfig.discover()).ensure_layout()
         self.projid = self.config.projid
         self.mode = mode
+        self.flush_mode = flush_mode or (SYNC if mode == REPLAY else ASYNC)
         self.db = db or Database(self.config.db_path)
         self._owns_db = db is None
         self.logs = LogRepository(self.db)
@@ -127,13 +147,27 @@ class Session:
         self.objects = ObjectRepository(self.db)
         self.build_deps = BuildDepRepository(self.db)
         self.repository = repository or Repository(self.config.objects_dir, self.config.root)
-        self.checkpoints = CheckpointManager(self.objects, policy=checkpoint_policy)
+        self._buffer = RecordBuffer()
+        self.flusher = BackgroundFlusher(
+            self.db, mode=self.flush_mode, name=f"flor-flush-{self.projid or 'default'}"
+        )
+        # Past this many staged records an async session submits to the
+        # flusher opportunistically, overlapping SQLite work with the loop.
+        self._stage_threshold = 512
+        ckpt_writer = AsyncCheckpointWriter(self.objects) if self.flush_mode == ASYNC else None
+        self.checkpoints = CheckpointManager(
+            self.objects, policy=checkpoint_policy, writer=ckpt_writer
+        )
         self.default_filename = default_filename
         self._cli_args = dict(cli_args or {})
         self._contexts: dict[str, ContextState] = {}
-        self._pending_logs: list[LogRecord] = []
-        self._pending_loops: list[LoopRecord] = []
         self._ckpt_block_depth: dict[str, int] = {}
+        # Next auto index per (filename, loop_name) for the current epoch.
+        # Record mode only: rows under this session's fresh tstamp can only
+        # come from this session, so the counter replaces the flush barrier
+        # + database scan that ``iteration(index=None)`` would otherwise
+        # need.  Cleared when commit() rotates the timestamp.
+        self._loop_iteration_next: dict[tuple[str, str], int] = {}
         self._query_cache = query_cache
         self._query_engine: "Any | None" = None
         self._replay_plan = replay_plan
@@ -152,10 +186,25 @@ class Session:
 
     # ------------------------------------------------------------ bookkeeping
     def close(self) -> None:
-        """Flush pending records and release the database if we own it."""
-        self.flush()
-        if self._owns_db:
-            self.db.close()
+        """Flush pending records, stop the write workers, release the database.
+
+        Flush-on-close: staged rows and in-flight checkpoint writes are
+        drained before the workers stop, so nothing recorded is ever lost to
+        a clean shutdown.  A deferred worker error re-raised by the flush
+        still releases every resource (worker threads, the database handle)
+        before propagating.
+        """
+        try:
+            self.flush()
+        finally:
+            try:
+                self.checkpoints.close()
+            finally:
+                try:
+                    self.flusher.close()
+                finally:
+                    if self._owns_db:
+                        self.db.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -165,12 +214,36 @@ class Session:
 
     @property
     def pending_records(self) -> int:
-        return len(self._pending_logs) + len(self._pending_loops)
+        """Records staged or submitted but not yet durable."""
+        return self._buffer.pending + self.flusher.pending_rows
+
+    @property
+    def pending_log_records(self) -> int:
+        return self._buffer.pending_logs
+
+    @property
+    def pending_loop_records(self) -> int:
+        return self._buffer.pending_loops
+
+    def take_pending_records(self) -> tuple[list[LogRecord], list[LoopRecord]]:
+        """Drain staged records as record objects *without* writing them.
+
+        Used by collect-only replay, whose parent process is the sole
+        database writer.
+        """
+        return self._buffer.drain_records()
 
     def _context_for(self, filename: str) -> ContextState:
         if filename not in self._contexts:
             self._contexts[filename] = ContextState(filename=filename)
         return self._contexts[filename]
+
+    def _note_loop_iteration(self, filename: str, loop_name: str, iteration: int) -> None:
+        """Advance the epoch-local auto-index high-water mark for one loop."""
+        key = (filename, loop_name)
+        nxt = iteration + 1
+        if nxt > self._loop_iteration_next.get(key, 0):
+            self._loop_iteration_next[key] = nxt
 
     def current_filename(self) -> str:
         """Basename of the file issuing the current flor call.
@@ -215,23 +288,23 @@ class Session:
 
         Returns ``value`` unchanged so the call can wrap expressions inline,
         exactly as in the paper's examples.
+
+        This is the record path's hot function: it stages one tuple in the
+        :class:`~repro.runtime.RecordBuffer` (value encoding deferred for
+        scalars) and only touches SQLite indirectly, via an opportunistic
+        background submit once enough records have accumulated.
         """
         filename = filename or self.current_filename()
         ctx = self._context_for(filename)
-        record = LogRecord.create(
-            projid=self.projid,
-            tstamp=self.tstamp,
-            filename=filename,
-            ctx_id=ctx.current_ctx_id,
-            value_name=name,
-            value=value,
-        )
+        ctx_id = ctx.current_ctx_id
         if self.mode == REPLAY:
-            key = (record.tstamp, record.filename, record.ctx_id, record.value_name)
+            key = (self.tstamp, filename, ctx_id, name)
             if key in self._existing_log_keys:
                 return value
             self._existing_log_keys.add(key)
-        self._pending_logs.append(record)
+        self._buffer.stage_log(self.projid, self.tstamp, filename, ctx_id, name, value)
+        if self.flush_mode == ASYNC and self._buffer.pending >= self._stage_threshold:
+            self.flush(wait=False)
         return value
 
     # ------------------------------------------------------------------- arg
@@ -308,23 +381,25 @@ class Session:
                 frame.ctx_id = ctx.allocate_ctx_id()
                 frame.iteration = i
                 frame.iteration_value = value
-                self._pending_loops.append(
-                    LoopRecord(
-                        projid=self.projid,
-                        tstamp=self.tstamp,
-                        filename=filename,
-                        ctx_id=frame.ctx_id,
-                        parent_ctx_id=frame.parent_ctx_id,
-                        loop_name=name,
-                        loop_iteration=i,
-                        iteration_value=stringify_iteration_value(value),
-                    )
+                self._buffer.stage_loop(
+                    self.projid,
+                    self.tstamp,
+                    filename,
+                    frame.ctx_id,
+                    frame.parent_ctx_id,
+                    name,
+                    i,
+                    stringify_iteration_value(value),
                 )
+                self._note_loop_iteration(filename, name, i)
                 started = time.perf_counter()
                 yield value
                 elapsed = time.perf_counter() - started
                 if is_checkpoint_loop:
-                    self.flush()
+                    # Submit without waiting: the iteration boundary hands
+                    # rows (and, below, the checkpoint) to the background
+                    # workers instead of blocking the loop on SQLite.
+                    self.flush(wait=False)
                     self.checkpoints.maybe_save(
                         CheckpointKey(self.projid, self.tstamp, filename, frame.ctx_id, name),
                         iteration=i,
@@ -377,17 +452,15 @@ class Session:
                     frame.ctx_id = ctx.reserve_ctx_id(record.ctx_id)
                 else:
                     frame.ctx_id = ctx.allocate_ctx_id()
-                    self._pending_loops.append(
-                        LoopRecord(
-                            projid=self.projid,
-                            tstamp=self.tstamp,
-                            filename=filename,
-                            ctx_id=frame.ctx_id,
-                            parent_ctx_id=parent,
-                            loop_name=name,
-                            loop_iteration=i,
-                            iteration_value=stringify_iteration_value(value),
-                        )
+                    self._buffer.stage_loop(
+                        self.projid,
+                        self.tstamp,
+                        filename,
+                        frame.ctx_id,
+                        parent,
+                        name,
+                        i,
+                        stringify_iteration_value(value),
                     )
                 frame.iteration = i
                 frame.iteration_value = value
@@ -465,31 +538,33 @@ class Session:
         ctx = self._context_for(filename)
         frame = ctx.push_loop(name)
         if index is None:
-            existing = [
-                r.loop_iteration
-                for r in self.loops.by_context(self.projid, self.tstamp, filename)
-                if r.loop_name == name
-            ] + [
-                r.loop_iteration
-                for r in self._pending_loops
-                if r.loop_name == name and r.filename == filename and r.tstamp == self.tstamp
-            ]
-            index = (max(existing) + 1) if existing else 0
+            if self.mode == RECORD:
+                # O(1): the epoch-local counter already accounts for every
+                # loop row this session staged under its fresh tstamp — and
+                # nobody else can write rows under that tstamp — so neither
+                # a flush barrier nor a database scan is needed.
+                index = self._loop_iteration_next.get((filename, name), 0)
+            else:
+                existing = [
+                    r.loop_iteration
+                    for r in self.loops.by_context(self.projid, self.tstamp, filename)
+                    if r.loop_name == name
+                ] + self._buffer.staged_loop_iterations(self.tstamp, filename, name)
+                index = (max(existing) + 1) if existing else 0
         frame.ctx_id = ctx.allocate_ctx_id()
         frame.iteration = index
         frame.iteration_value = value
-        self._pending_loops.append(
-            LoopRecord(
-                projid=self.projid,
-                tstamp=self.tstamp,
-                filename=filename,
-                ctx_id=frame.ctx_id,
-                parent_ctx_id=frame.parent_ctx_id,
-                loop_name=name,
-                loop_iteration=index,
-                iteration_value=stringify_iteration_value(value),
-            )
+        self._buffer.stage_loop(
+            self.projid,
+            self.tstamp,
+            filename,
+            frame.ctx_id,
+            frame.parent_ctx_id,
+            name,
+            index,
+            stringify_iteration_value(value),
         )
+        self._note_loop_iteration(filename, name, index)
         try:
             yield value
         finally:
@@ -522,29 +597,49 @@ class Session:
             self.checkpoints.clear()
 
     # ---------------------------------------------------------------- commit
-    def flush(self) -> None:
-        """Write buffered log and loop records to the database.
+    def flush(self, wait: bool = True) -> None:
+        """Drain staged records toward the database.
 
-        A flush that wrote anything bumps the query cache's generation
-        counter for this project, so materialized pivot views notice the
-        append on their next read (and merge just the delta).
+        With ``wait`` (the default) this is the read-your-writes barrier:
+        it returns only once every staged and previously submitted row is
+        durable, exactly like the historical synchronous flush.  With
+        ``wait=False`` (async sessions only, used at loop iteration
+        boundaries) the staged rows are handed to the background flusher
+        and the recording thread moves on immediately.
+
+        Each transaction that writes rows bumps the query cache's generation
+        counter for this project — from the flusher's thread, *after* the
+        commit — so materialized pivot views notice the append on their next
+        read (and merge just the delta).
         """
-        wrote = bool(self._pending_loops or self._pending_logs)
-        if self._pending_loops:
-            self.loops.add_many(self._pending_loops)
-            self._pending_loops = []
-        if self._pending_logs:
-            self.logs.add_many(self._pending_logs)
-            self._pending_logs = []
-        if wrote:
-            if self._query_engine is not None:
-                self._query_engine.note_write()
-            elif self._query_cache is not None:
-                # A shared cache must learn about this write even though this
-                # session never read through it — another engine on a
-                # different database handle sees neither our write_version
-                # nor (without this) a generation bump.
-                self._query_cache.bump_generation(self.projid)
+        log_rows, loop_rows = self._buffer.drain_rows()
+        if log_rows or loop_rows:
+            try:
+                self.flusher.submit(log_rows, loop_rows, on_written=self._note_rows_written)
+            except FlushCallbackError:
+                # The rows are durable (sync/inline write committed before
+                # its callback failed); restoring them would duplicate.
+                raise
+            except Exception:
+                # An inline write failed (sync mode, or a flusher already
+                # closed): the rows reached neither the queue nor the
+                # database, so restore them for a later retry — matching the
+                # historical keep-pending-on-failure semantics.
+                self._buffer.restore_rows(log_rows, loop_rows)
+                raise
+        if wait:
+            self.flusher.drain()
+
+    def _note_rows_written(self, _count: int) -> None:
+        """Invalidation hook run after each transaction that wrote our rows."""
+        if self._query_engine is not None:
+            self._query_engine.note_write()
+        elif self._query_cache is not None:
+            # A shared cache must learn about this write even though this
+            # session never read through it — another engine on a
+            # different database handle sees neither our write_version
+            # nor (without this) a generation bump.
+            self._query_cache.bump_generation(self.projid)
 
     def commit(self, message: str = "", root_target: str | None = None) -> str | None:
         """Application-level transaction commit (``flor.commit`` in the paper).
@@ -557,6 +652,9 @@ class Session:
         self.flush()
         if self.mode == REPLAY:
             return None
+        # Checkpoints belonging to this epoch must be durable before the
+        # version boundary — the drain barrier of the async writer.
+        self.checkpoints.drain()
         ts_end = _timestamps.next()
         commit: Commit = self.repository.commit(message=message, tstamp=self.tstamp)
         self.ts2vid.add(
@@ -570,6 +668,8 @@ class Session:
         )
         self.tstamp = _timestamps.next()
         self.epoch_start = self.tstamp
+        # Fresh timestamp, fresh run: auto-indices restart per epoch.
+        self._loop_iteration_next.clear()
         return commit.vid
 
     # ------------------------------------------------------------- dataframe

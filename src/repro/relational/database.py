@@ -94,11 +94,14 @@ class Database:
                 raise DatabaseError(f"SQL error: {exc}") from exc
 
     def executemany(self, sql: str, rows: Sequence[Sequence[Any]]) -> None:
+        # Rows pass straight through to sqlite3 (which accepts any sequence);
+        # re-materializing them as tuples here would copy every row a second
+        # time.  Callers produce tuples exactly once via ``Record.as_row``.
         if not rows:
             return
         with self._lock:
             try:
-                self._connection.executemany(sql, [tuple(r) for r in rows])
+                self._connection.executemany(sql, rows)
                 self._connection.commit()
             except sqlite3.Error as exc:
                 raise DatabaseError(f"SQL error: {exc}") from exc

@@ -76,6 +76,23 @@ class LogRecord:
     def decoded(self) -> Any:
         return decode_value(self.value, self.value_type)
 
+    def as_row(self) -> tuple:
+        """Bind parameters for the ``logs`` INSERT.
+
+        The single record→row conversion shared by the repositories, the
+        service ingester and the background flusher, so each record is
+        materialized as a tuple exactly once on its way into SQLite.
+        """
+        return (
+            self.projid,
+            self.tstamp,
+            self.filename,
+            self.ctx_id,
+            self.value_name,
+            self.value,
+            self.value_type,
+        )
+
     @classmethod
     def create(
         cls,
@@ -102,6 +119,19 @@ class LoopRecord:
     loop_name: str
     loop_iteration: int
     iteration_value: str | None
+
+    def as_row(self) -> tuple:
+        """Bind parameters for the ``loops`` INSERT (see ``LogRecord.as_row``)."""
+        return (
+            self.projid,
+            self.tstamp,
+            self.filename,
+            self.ctx_id,
+            self.parent_ctx_id,
+            self.loop_name,
+            self.loop_iteration,
+            self.iteration_value,
+        )
 
 
 @dataclass(frozen=True)

@@ -19,8 +19,9 @@ from .records import (
     Ts2VidRecord,
 )
 
-#: Insert statements shared with :mod:`repro.service.ingest`, which replays
-#: them through a single transaction when coalescing batched appends.
+#: Insert statements shared with :mod:`repro.runtime.flusher`, which replays
+#: them through a single transaction when coalescing batched submissions;
+#: bind parameters come from ``LogRecord.as_row`` / ``LoopRecord.as_row``.
 INSERT_LOG_SQL = (
     "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
     " VALUES (?, ?, ?, ?, ?, ?, ?)"
@@ -30,33 +31,6 @@ INSERT_LOOP_SQL = (
     " (projid, tstamp, filename, ctx_id, parent_ctx_id, loop_name, loop_iteration, iteration_value)"
     " VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
 )
-
-
-def log_row(record: LogRecord) -> tuple:
-    """Bind parameters for :data:`INSERT_LOG_SQL`."""
-    return (
-        record.projid,
-        record.tstamp,
-        record.filename,
-        record.ctx_id,
-        record.value_name,
-        record.value,
-        record.value_type,
-    )
-
-
-def loop_row(record: LoopRecord) -> tuple:
-    """Bind parameters for :data:`INSERT_LOOP_SQL`."""
-    return (
-        record.projid,
-        record.tstamp,
-        record.filename,
-        record.ctx_id,
-        record.parent_ctx_id,
-        record.loop_name,
-        record.loop_iteration,
-        record.iteration_value,
-    )
 
 
 class LogRepository:
@@ -69,7 +43,7 @@ class LogRepository:
         self.add_many([record])
 
     def add_many(self, records: Sequence[LogRecord]) -> None:
-        self._db.executemany(INSERT_LOG_SQL, [log_row(r) for r in records])
+        self._db.executemany(INSERT_LOG_SQL, [r.as_row() for r in records])
 
     def _rows_to_records(self, rows: Iterable[tuple]) -> list[LogRecord]:
         return [
@@ -146,7 +120,7 @@ class LoopRepository:
         self.add_many([record])
 
     def add_many(self, records: Sequence[LoopRecord]) -> None:
-        self._db.executemany(INSERT_LOOP_SQL, [loop_row(r) for r in records])
+        self._db.executemany(INSERT_LOOP_SQL, [r.as_row() for r in records])
 
     def _rows_to_records(self, rows: Iterable[tuple]) -> list[LoopRecord]:
         return [

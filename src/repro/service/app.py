@@ -4,8 +4,11 @@ Routes (all JSON; ``<name>`` is a tenant/project name):
 
 * ``POST /projects/<name>/logs`` — bulk-append log and loop records.  The
   body is ``{"records": [...], "loops": [...], "filename": ...}``; records
-  are acknowledged with ``202`` once enqueued (durability comes from the
-  next batch flush, commit, or read).
+  are acknowledged with ``202`` once enqueued — ``"flushed": true`` in the
+  response means the batch was *handed to the shard's writer* (inline with
+  ``flush_mode="sync"``, to the background flusher otherwise), not that it
+  is already durable.  Durability comes from the next commit or read, both
+  of which drain the writer first.
 * ``POST /projects/<name>/commit`` — flush the shard's queue and run
   ``flor.commit`` (snapshot tracked files, record the ``ts2vid`` epoch).
 * ``GET /projects/<name>/dataframe?names=a,b[&latest=1]`` — the pivoted
@@ -55,6 +58,9 @@ class FlorService:
         Batched-ingestion knobs, passed to each shard's
         :class:`~repro.service.ingest.IngestionQueue`.  ``flush_size=1``
         disables batching (every append is its own transaction).
+    flush_mode:
+        ``"async"`` (default) or ``"sync"`` record path per shard; see
+        :class:`~repro.service.pool.DatabasePool`.
     """
 
     def __init__(
@@ -64,15 +70,18 @@ class FlorService:
         pool_capacity: int = 8,
         flush_size: int = 64,
         flush_interval: float | None = 0.5,
+        flush_mode: str | None = None,
     ):
         self.root = Path(root)
         self.flush_size = flush_size
         self.flush_interval = flush_interval
+        self.flush_mode = flush_mode
         self.pool = DatabasePool(
             self.root,
             capacity=pool_capacity,
             flush_size=flush_size,
             flush_interval=flush_interval,
+            flush_mode=flush_mode,
         )
         self._app: WebApp | None = None
 

@@ -21,6 +21,15 @@ Flushes trigger three ways:
 * **explicit** — :meth:`IngestionQueue.flush`, called by the service layer
   before commits and reads so clients always read their own writes.
 
+Writing goes through a :class:`~repro.runtime.BackgroundFlusher`.  The
+default (a private sync-mode flusher) executes each flush inline on the
+appending thread, exactly the historical behaviour.  The service pool
+instead passes the *shard session's* flusher, so batched ingestion shares
+one background writer (and one coalesced transaction stream) with the
+session's own record path; size- and interval-triggered flushes then hand
+rows off without blocking the request thread, while explicit flushes drain
+the flusher as the read-your-writes barrier.
+
 The queue is thread-safe; callers may share one instance across request
 handler threads.
 """
@@ -34,12 +43,7 @@ from typing import Callable, Sequence
 
 from ..relational.database import Database
 from ..relational.records import LogRecord, LoopRecord
-from ..relational.repositories import (
-    INSERT_LOG_SQL,
-    INSERT_LOOP_SQL,
-    log_row,
-    loop_row,
-)
+from ..runtime import SYNC, BackgroundFlusher, FlushCallbackError
 
 
 @dataclass
@@ -83,11 +87,17 @@ class IngestionQueue:
         Monotonic time source; injectable so tests drive the interval
         trigger deterministically.
     on_flush:
-        Called with the record count after every flush that wrote rows.
+        Called with the record count after each flushed batch's transaction
+        commits (on the flusher's thread when the flusher is asynchronous).
         The pool wires this to the shard's query-cache invalidation
         (:meth:`~repro.query.QueryEngine.note_write`), so batched ingestion
         — which writes straight to the database, bypassing the session's
-        buffers — still marks materialized pivot views stale.
+        buffers — still marks materialized pivot views stale, and only once
+        the rows are actually visible to readers.
+    flusher:
+        Writer to hand batches to.  ``None`` creates a private sync-mode
+        :class:`~repro.runtime.BackgroundFlusher` (inline writes, one
+        transaction per flush — the historical behaviour).
     """
 
     db: Database
@@ -96,6 +106,7 @@ class IngestionQueue:
     clock: Callable[[], float] = time.monotonic
     stats: IngestStats = field(default_factory=IngestStats)
     on_flush: Callable[[int], None] | None = None
+    flusher: BackgroundFlusher | None = None
 
     def __post_init__(self) -> None:
         if self.flush_size < 1:
@@ -104,6 +115,8 @@ class IngestionQueue:
         self._logs: list[LogRecord] = []
         self._loops: list[LoopRecord] = []
         self._last_flush = self.clock()
+        if self.flusher is None:
+            self.flusher = BackgroundFlusher(self.db, mode=SYNC)
 
     # ---------------------------------------------------------------- append
     def append(
@@ -132,14 +145,26 @@ class IngestionQueue:
     # ----------------------------------------------------------------- flush
     @property
     def pending(self) -> int:
-        """Number of records buffered but not yet durable."""
+        """Records buffered in this queue, not yet handed to the flusher.
+
+        Batches already submitted to an async flusher are tracked by the
+        flusher's own ``pending_rows``, not here.
+        """
         with self._lock:
             return len(self._logs) + len(self._loops)
 
     def flush(self) -> int:
-        """Write all pending records now; returns how many were written."""
+        """Make all pending records durable now; returns how many were queued.
+
+        This is the read-your-writes barrier: it submits the pending batch
+        and then drains the flusher, so it returns only once every record —
+        including batches from earlier size/interval flushes still riding
+        the background writer — is committed.
+        """
         with self._lock:
-            return self._flush_locked("explicit")
+            count = self._flush_locked("explicit")
+        self.flusher.drain()
+        return count
 
     def _flush_locked(self, reason: str) -> int:
         logs, loops = self._logs, self._loops
@@ -148,17 +173,27 @@ class IngestionQueue:
             self._last_flush = self.clock()
             return 0
         self._logs, self._loops = [], []
-        # One transaction for the whole batch: commit cost is paid once per
-        # flush instead of once per record (the point of this module).
+        # One batch per flush → one transaction (possibly coalesced with
+        # neighbouring batches by an async flusher): commit cost is paid per
+        # flush instead of per record (the point of this module).
+        notify = self.on_flush
         try:
-            with self.db.transaction() as connection:
-                if logs:
-                    connection.executemany(INSERT_LOG_SQL, [log_row(r) for r in logs])
-                if loops:
-                    connection.executemany(INSERT_LOOP_SQL, [loop_row(r) for r in loops])
+            self.flusher.submit(
+                [r.as_row() for r in logs],
+                [r.as_row() for r in loops],
+                on_written=notify if notify is not None else None,
+            )
+        except FlushCallbackError:
+            # The transaction committed; only the post-commit callback
+            # failed.  Requeueing would duplicate every row on the next
+            # flush, so propagate without touching the buffers.
+            raise
         except Exception:
-            # The transaction rolled back; requeue so a later flush can retry
-            # (records appended meanwhile stay ordered after the old batch).
+            # The inline write failed (sync flusher — an async submit never
+            # raises after accepting its batch; deferred worker errors
+            # surface at the drain in flush() instead).  Requeue so a later
+            # flush can retry (records appended meanwhile stay ordered after
+            # the old batch).
             self._logs = logs + self._logs
             self._loops = loops + self._loops
             raise
@@ -172,6 +207,4 @@ class IngestionQueue:
             self.stats.interval_flushes += 1
         else:
             self.stats.explicit_flushes += 1
-        if self.on_flush is not None:
-            self.on_flush(count)
         return count

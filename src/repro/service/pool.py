@@ -97,6 +97,12 @@ class DatabasePool:
     flush_size / flush_interval:
         Batching knobs for each shard's
         :class:`~repro.service.ingest.IngestionQueue`.
+    flush_mode:
+        ``"async"`` (default) or ``"sync"``, forwarded to each shard's
+        :class:`~repro.core.session.Session`.  The shard's ingestion queue
+        reuses the session's flusher, so with the default one background
+        writer per shard serves both the batched ingest path and the
+        session's own record path.
     shard_factory:
         ``(name) -> ProjectShard`` hook replacing the default construction
         entirely (mainly for tests).
@@ -109,6 +115,7 @@ class DatabasePool:
         capacity: int = 8,
         flush_size: int = 64,
         flush_interval: float | None = 0.5,
+        flush_mode: str | None = None,
         shard_factory: Callable[[str], ProjectShard] | None = None,
     ):
         if capacity < 1:
@@ -117,6 +124,7 @@ class DatabasePool:
         self.capacity = capacity
         self.flush_size = flush_size
         self.flush_interval = flush_interval
+        self.flush_mode = flush_mode
         self._factory = shard_factory or self._default_factory
         self._shards: "OrderedDict[str, ProjectShard]" = OrderedDict()
         self._building: dict[str, threading.Event] = {}
@@ -126,16 +134,21 @@ class DatabasePool:
 
     def _default_factory(self, name: str) -> ProjectShard:
         config = ProjectConfig(self.root / name, name)
-        session = Session(config, default_filename=SERVICE_FILENAME)
+        session = Session(config, default_filename=SERVICE_FILENAME, flush_mode=self.flush_mode)
         # The session's query engine carries the shard's materialized pivot
         # views (one cache per shard, warm across requests).  The ingestion
-        # queue writes straight to the database, so each of its flushes must
-        # bump the cache generation the same way Session.flush does.
+        # queue writes straight to the database, so each of its flushed
+        # batches must bump the cache generation the same way Session.flush
+        # does — after the batch's transaction commits, which the flusher's
+        # on_written hook guarantees.  The engine is resolved here, once,
+        # so the callback never races its lazy construction.
+        engine = session.query
         queue = IngestionQueue(
             session.db,
             flush_size=self.flush_size,
             flush_interval=self.flush_interval,
-            on_flush=lambda _count: session.query.note_write(),
+            on_flush=lambda _count: engine.note_write(),
+            flusher=session.flusher,
         )
         return ProjectShard(name, session, queue)
 

@@ -3,9 +3,18 @@
 A :class:`Repository` tracks a set of files under a working directory.
 ``commit()`` snapshots their current contents into the object store and
 appends an immutable :class:`Commit` to a linear history (FlorDB only ever
-commits to the tip, so branching is intentionally out of scope).  Commit
-metadata is kept in a JSON journal file next to the object store so the
-repository is self-contained and inspectable.
+commits to the tip, so branching is intentionally out of scope).
+
+Persistence is a snapshot (``commits.json``) plus an append-only event
+journal (``commits.jsonl``): each ``commit``/``track``/``untrack`` appends
+one JSON line instead of rewriting the whole history, so committing stays
+O(1) in history length; the journal is folded back into the snapshot once
+it grows past :attr:`Repository.COMPACT_EVERY` events.  Snapshotting file
+contents is likewise incremental: a ``(mtime_ns, size) → object_id`` cache
+skips reading and hashing files that have not changed since the previous
+commit, with a git-style "racy mtime" guard (entries whose mtime is too
+close to the time they were cached are never trusted) so a same-size edit
+within the filesystem's timestamp granularity is still detected.
 """
 
 from __future__ import annotations
@@ -62,31 +71,95 @@ def _manifest_vid(files: Mapping[str, str], parent_vid: str | None) -> str:
     return hash_bytes(payload.encode("utf-8"))[:16]
 
 
+#: Don't trust a cached hash whose file mtime is within this window of the
+#: moment the cache entry was made: coarse filesystem timestamps could hide
+#: a same-size rewrite inside one timestamp tick (git's "racy clean" rule).
+#: 2 s covers the coarsest common granularity (FAT/exFAT; HFS+ and some NFS
+#: mounts are 1 s) — files untouched for longer than that still hit the
+#: cache, which is the per-epoch steady state the cache exists for.
+RACY_WINDOW_NS = 2_000_000_000  # 2 s
+
+
 class Repository:
     """Linear version history over a set of tracked files."""
 
     JOURNAL_NAME = "commits.json"
+    LOG_NAME = "commits.jsonl"
+    #: Fold the event journal into the snapshot past this many entries.
+    COMPACT_EVERY = 512
 
     def __init__(self, objects_dir: Path | str, working_dir: Path | str):
         self.store = ObjectStore(objects_dir)
         self.working_dir = Path(working_dir)
         self._journal_path = Path(objects_dir) / self.JOURNAL_NAME
+        self._log_path = Path(objects_dir) / self.LOG_NAME
         self._commits: list[Commit] = []
         self._tracked: set[str] = set()
+        self._log_entries = 0
+        # rel path -> (mtime_ns, size, object_id, verified_at_ns)
+        self._hash_cache: dict[str, tuple[int, int, str, int]] = {}
+        self.snapshot_stats = {"hits": 0, "misses": 0}
         self._load_journal()
 
     # ------------------------------------------------------------- journal
     def _load_journal(self) -> None:
-        if not self._journal_path.exists():
-            return
-        try:
-            data = json.loads(self._journal_path.read_text())
-        except json.JSONDecodeError as exc:
-            raise VersioningError(f"corrupt commit journal at {self._journal_path}") from exc
-        self._commits = [Commit.from_json(entry) for entry in data.get("commits", [])]
-        self._tracked = set(data.get("tracked", []))
+        if self._journal_path.exists():
+            try:
+                data = json.loads(self._journal_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise VersioningError(f"corrupt commit journal at {self._journal_path}") from exc
+            self._commits = [Commit.from_json(entry) for entry in data.get("commits", [])]
+            self._tracked = set(data.get("tracked", []))
+        if self._log_path.exists():
+            seen_vids = {c.vid for c in self._commits}
+            for line_no, line in enumerate(self._log_path.read_text().splitlines(), start=1):
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise VersioningError(
+                        f"corrupt commit journal at {self._log_path}:{line_no}"
+                    ) from exc
+                self._apply_event(event, seen_vids)
+                self._log_entries += 1
 
-    def _save_journal(self) -> None:
+    def _apply_event(self, event: Mapping, seen_vids: set[str]) -> None:
+        op = event.get("op")
+        if op == "commit":
+            commit = Commit.from_json(event["commit"])
+            # Replay must be idempotent: a crash between compaction's
+            # snapshot replace and journal truncation leaves events that the
+            # snapshot already folded in.  Linear, content-addressed history
+            # never holds two distinct commits with one vid (an unchanged
+            # manifest reuses the head instead of re-committing), so
+            # skipping seen vids is safe.
+            if commit.vid not in seen_vids:
+                seen_vids.add(commit.vid)
+                self._commits.append(commit)
+        elif op == "track":
+            self._tracked.update(event.get("paths", []))
+        elif op == "untrack":
+            self._tracked.difference_update(event.get("paths", []))
+        else:
+            raise VersioningError(f"unknown journal op {op!r} in {self._log_path}")
+
+    def _append_event(self, event: dict) -> None:
+        """Persist one state change in O(1): append a line, compact rarely.
+
+        The event has already been applied to the in-memory state, so
+        compaction (which serializes that state wholesale) subsumes it.
+        """
+        if self._log_entries >= self.COMPACT_EVERY:
+            self._save_snapshot()
+            return
+        self._log_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._log_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._log_entries += 1
+
+    def _save_snapshot(self) -> None:
+        """Write the full state to ``commits.json`` and truncate the journal."""
         payload = {
             "commits": [c.to_json() for c in self._commits],
             "tracked": sorted(self._tracked),
@@ -95,31 +168,65 @@ class Repository:
         tmp = self._journal_path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, indent=2))
         tmp.replace(self._journal_path)
+        if self._log_path.exists():
+            self._log_path.unlink()
+        self._log_entries = 0
 
     # -------------------------------------------------------------- tracking
     def track(self, *paths: str | Path) -> None:
         """Add files (relative to the working directory) to the tracked set."""
+        added = []
         for path in paths:
             rel = str(Path(path))
-            self._tracked.add(rel)
-        self._save_journal()
+            if rel not in self._tracked:
+                self._tracked.add(rel)
+                added.append(rel)
+        if added:
+            self._append_event({"op": "track", "paths": added})
 
     def untrack(self, *paths: str | Path) -> None:
+        removed = []
         for path in paths:
-            self._tracked.discard(str(Path(path)))
-        self._save_journal()
+            rel = str(Path(path))
+            if rel in self._tracked:
+                self._tracked.discard(rel)
+                removed.append(rel)
+        if removed:
+            self._append_event({"op": "untrack", "paths": removed})
 
     @property
     def tracked(self) -> list[str]:
         return sorted(self._tracked)
 
     def _snapshot_files(self) -> dict[str, str]:
+        """Object ids for the current contents of every tracked file.
+
+        An unchanged file — same ``(mtime_ns, size)`` as when its hash was
+        cached, and an mtime old enough to be outside the racy window —
+        reuses the cached object id without being read or hashed, making a
+        per-epoch commit O(changed bytes) instead of O(tracked bytes).
+        """
         manifest: dict[str, str] = {}
         for rel in sorted(self._tracked):
             path = self.working_dir / rel
-            if not path.exists():
+            try:
+                stat = path.stat()
+            except OSError:
                 continue
-            manifest[rel] = self.store.put(path.read_bytes())
+            cached = self._hash_cache.get(rel)
+            if (
+                cached is not None
+                and cached[0] == stat.st_mtime_ns
+                and cached[1] == stat.st_size
+                and stat.st_mtime_ns + RACY_WINDOW_NS < cached[3]
+            ):
+                self.snapshot_stats["hits"] += 1
+                manifest[rel] = cached[2]
+                continue
+            object_id = self.store.put(path.read_bytes())
+            self._hash_cache[rel] = (stat.st_mtime_ns, stat.st_size, object_id, time.time_ns())
+            self.snapshot_stats["misses"] += 1
+            manifest[rel] = object_id
         return manifest
 
     # --------------------------------------------------------------- commits
@@ -145,7 +252,7 @@ class Repository:
             files=files,
         )
         self._commits.append(commit)
-        self._save_journal()
+        self._append_event({"op": "commit", "commit": commit.to_json()})
         return commit
 
     def log(self) -> list[Commit]:

@@ -16,6 +16,7 @@ from repro.relational.records import (
     VALUE_TYPE_STR,
     BuildDepRecord,
     LogRecord,
+    LoopRecord,
     decode_value,
     encode_value,
 )
@@ -73,6 +74,14 @@ class TestLogRecord:
         record = LogRecord.create("p", "t", "f.py", 3, "acc", 1)
         with pytest.raises(AttributeError):
             record.value = "other"
+
+    def test_as_row_matches_insert_column_order(self):
+        record = LogRecord.create("p", "t", "f.py", 3, "acc", 0.75)
+        assert record.as_row() == ("p", "t", "f.py", 3, "acc", "0.75", VALUE_TYPE_FLOAT)
+
+    def test_loop_as_row_matches_insert_column_order(self):
+        record = LoopRecord("p", "t", "f.py", 4, 0, "epoch", 2, "2")
+        assert record.as_row() == ("p", "t", "f.py", 4, 0, "epoch", 2, "2")
 
 
 class TestBuildDepRecord:

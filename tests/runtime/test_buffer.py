@@ -1,0 +1,92 @@
+"""Tests for the record buffer: staging, deferred encoding, drains."""
+
+from __future__ import annotations
+
+from repro.relational.records import (
+    VALUE_TYPE_FLOAT,
+    VALUE_TYPE_INT,
+    VALUE_TYPE_JSON,
+    VALUE_TYPE_NONE,
+    VALUE_TYPE_STR,
+)
+from repro.runtime import RecordBuffer
+from repro.runtime.buffer import _DEFERRED
+
+
+def stage(buffer: RecordBuffer, name: str, value, ctx_id: int = 0) -> None:
+    buffer.stage_log("p", "t1", "train.py", ctx_id, name, value)
+
+
+class TestStaging:
+    def test_scalars_defer_encoding(self):
+        buffer = RecordBuffer()
+        for value in (1, 1.5, "text", True, None):
+            stage(buffer, "v", value)
+        # No encode_value work has happened yet: the staged tuples carry the
+        # raw value plus the deferral sentinel.
+        assert all(row[6] is _DEFERRED for row in buffer._logs)
+        assert buffer.pending == 5
+
+    def test_mutable_values_encode_eagerly_for_snapshot_semantics(self):
+        buffer = RecordBuffer()
+        value = {"k": 1}
+        stage(buffer, "cfg", value)
+        value["k"] = 999  # mutation after the log call must not leak in
+        log_rows, _ = buffer.drain_rows()
+        assert log_rows[0][5] == '{"k": 1}'
+        assert log_rows[0][6] == VALUE_TYPE_JSON
+
+    def test_pending_counts_split_logs_and_loops(self):
+        buffer = RecordBuffer()
+        stage(buffer, "a", 1)
+        buffer.stage_loop("p", "t1", "train.py", 1, 0, "epoch", 0, "0")
+        assert buffer.pending == 2
+        assert buffer.pending_logs == 1
+        assert buffer.pending_loops == 1
+
+
+class TestDrain:
+    def test_drain_rows_encodes_deferred_scalars(self):
+        buffer = RecordBuffer()
+        stage(buffer, "i", 7)
+        stage(buffer, "f", 0.25)
+        stage(buffer, "s", "hi")
+        stage(buffer, "n", None)
+        log_rows, loop_rows = buffer.drain_rows()
+        assert loop_rows == []
+        by_name = {row[4]: (row[5], row[6]) for row in log_rows}
+        assert by_name["i"] == ("7", VALUE_TYPE_INT)
+        assert by_name["f"] == ("0.25", VALUE_TYPE_FLOAT)
+        assert by_name["s"] == ("hi", VALUE_TYPE_STR)
+        assert by_name["n"] == (None, VALUE_TYPE_NONE)
+        assert buffer.pending == 0
+
+    def test_drain_records_materializes_dataclasses(self):
+        buffer = RecordBuffer()
+        stage(buffer, "acc", 0.5, ctx_id=3)
+        buffer.stage_loop("p", "t1", "train.py", 3, 0, "epoch", 2, "2")
+        logs, loops = buffer.drain_records()
+        assert logs[0].value_name == "acc"
+        assert logs[0].decoded() == 0.5
+        assert logs[0].ctx_id == 3
+        assert loops[0].loop_name == "epoch"
+        assert loops[0].loop_iteration == 2
+
+    def test_drain_is_destructive(self):
+        buffer = RecordBuffer()
+        stage(buffer, "a", 1)
+        buffer.drain_rows()
+        assert buffer.drain_rows() == ([], [])
+
+
+class TestStagedLoopIterations:
+    def test_filters_by_run_file_and_loop(self):
+        buffer = RecordBuffer()
+        buffer.stage_loop("p", "t1", "train.py", 1, 0, "epoch", 0, "0")
+        buffer.stage_loop("p", "t1", "train.py", 2, 0, "epoch", 4, "4")
+        buffer.stage_loop("p", "t1", "train.py", 3, 0, "step", 9, "9")
+        buffer.stage_loop("p", "t2", "train.py", 4, 0, "epoch", 7, "7")
+        buffer.stage_loop("p", "t1", "other.py", 5, 0, "epoch", 8, "8")
+        assert buffer.staged_loop_iterations("t1", "train.py", "epoch") == [0, 4]
+        assert buffer.staged_loop_iterations("t1", "train.py", "step") == [9]
+        assert buffer.staged_loop_iterations("t9", "train.py", "epoch") == []

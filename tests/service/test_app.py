@@ -45,6 +45,9 @@ class TestAppend:
         assert response.json()["flushed"] is True
         assert response.json()["pending"] == 0
         with service.pool.checkout("alpha") as shard:
+            # The size trigger handed the batch to the (async) flusher; the
+            # shard flush is the durability barrier readers go through.
+            shard.flush()
             assert shard.session.db.count("logs") == 4
 
     def test_append_accepts_loop_records(self, client, service):

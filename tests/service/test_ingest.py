@@ -6,6 +6,7 @@ import pytest
 
 from repro.relational.database import Database
 from repro.relational.records import LogRecord, LoopRecord
+from repro.runtime import BackgroundFlusher
 from repro.service.ingest import IngestionQueue
 
 
@@ -132,3 +133,76 @@ class TestExplicitFlush:
         assert queue.pending == 2
         assert queue.flush() == 2
         assert db.count("logs") == 2
+
+
+class TestCallbackFailure:
+    def test_on_flush_error_does_not_requeue_committed_rows(self, db):
+        """Regression: requeueing after a post-commit callback failure
+        duplicated every row of the batch on the next flush."""
+        queue = IngestionQueue(
+            db,
+            flush_size=100,
+            flush_interval=None,
+            on_flush=lambda _count: (_ for _ in ()).throw(ValueError("hook broke")),
+        )
+        queue.append(logs=[_log(0), _log(1)])
+        with pytest.raises(Exception, match="hook broke"):
+            queue.flush()
+        assert queue.pending == 0  # durable rows were NOT requeued
+        assert db.count("logs") == 2
+        queue.on_flush = None
+        queue.append(logs=[_log(2)])
+        queue.flush()
+        assert db.count("logs") == 3  # no duplicates
+
+
+    def test_deferred_callback_error_does_not_drop_later_batches(self, db):
+        """Regression: with an async shared flusher, a deferred callback
+        error raised during a later submit dropped the batch that submit was
+        carrying (it had been drained from the queue but never enqueued)."""
+        flusher = BackgroundFlusher(db)
+        calls = [0]
+
+        def flaky_hook(_count):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise ValueError("hook broke once")
+
+        queue = IngestionQueue(
+            db, flush_size=2, flush_interval=None, flusher=flusher, on_flush=flaky_hook
+        )
+        queue.append(logs=[_log(0), _log(1)])  # batch 1: hook will raise post-commit
+        queue.append(logs=[_log(2), _log(3)])  # batch 2: must not be lost
+        queue.append(logs=[_log(4)])
+        with pytest.raises(Exception, match="hook broke once"):
+            queue.flush()  # the drain surfaces the deferred callback error
+        flusher.drain()
+        assert db.count("logs") == 5  # every appended row is durable
+        flusher.close()
+
+
+class TestSharedAsyncFlusher:
+    def test_size_flush_hands_off_and_explicit_flush_drains(self, db):
+        flusher = BackgroundFlusher(db)
+        queue = IngestionQueue(db, flush_size=2, flush_interval=None, flusher=flusher)
+        assert queue.append(logs=[_log(0), _log(1)]) is True  # size flush: submitted
+        queue.append(logs=[_log(2)])
+        assert queue.flush() == 1  # explicit flush drains earlier batches too
+        assert db.count("logs") == 3
+        flusher.close()
+
+    def test_on_flush_fires_after_rows_are_visible(self, db):
+        flusher = BackgroundFlusher(db)
+        observed = []
+        queue = IngestionQueue(
+            db,
+            flush_size=2,
+            flush_interval=None,
+            flusher=flusher,
+            on_flush=lambda count: observed.append((count, db.count("logs"))),
+        )
+        queue.append(logs=[_log(0), _log(1)])
+        flusher.drain()
+        # Cache invalidation must run only once the batch is committed.
+        assert observed == [(2, 2)]
+        flusher.close()

@@ -1,0 +1,147 @@
+"""Snapshot cache and append-only journal tests for the version repository."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import VersioningError
+from repro.versioning.repository import Repository
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "train.py").write_text("print('v1')\n")
+    (tmp_path / "infer.py").write_text("print('infer')\n")
+    return tmp_path
+
+
+@pytest.fixture()
+def repo(workdir):
+    repository = Repository(workdir / ".objects", workdir)
+    repository.track("train.py", "infer.py")
+    return repository
+
+
+def _age(path, seconds: float = 3600.0) -> None:
+    """Push a file's mtime into the past so the racy-mtime guard trusts it."""
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+class TestSnapshotCache:
+    def test_unchanged_file_reuses_cached_object_id_without_hashing(self, repo, workdir, monkeypatch):
+        _age(workdir / "train.py")
+        _age(workdir / "infer.py")
+        first = repo.commit("v1")
+        puts = []
+        original_put = repo.store.put
+        monkeypatch.setattr(repo.store, "put", lambda data: puts.append(1) or original_put(data))
+        second = repo.commit("v1 again")
+        assert puts == []  # neither file was read or hashed
+        assert second.vid == first.vid
+        assert repo.snapshot_stats["hits"] == 2
+
+    def test_modified_file_is_rehashed(self, repo, workdir):
+        _age(workdir / "train.py")
+        _age(workdir / "infer.py")
+        first = repo.commit("v1")
+        (workdir / "train.py").write_text("print('v2')\n")
+        second = repo.commit("v2")
+        assert second.vid != first.vid
+        assert first.files["train.py"] != second.files["train.py"]
+        assert first.files["infer.py"] == second.files["infer.py"]
+
+    def test_racy_same_size_rewrite_is_detected(self, repo, workdir):
+        # Two same-length contents written back-to-back: mtime and size may
+        # be indistinguishable on coarse filesystems, so the cache must not
+        # trust entries whose mtime is within the racy window.
+        first = repo.commit("v1")
+        (workdir / "train.py").write_text("print('v2')\n")  # same byte length
+        second = repo.commit("v2")
+        assert second.vid != first.vid
+
+    def test_missing_tracked_file_still_skipped(self, repo):
+        repo.track("not_there.py")
+        commit = repo.commit("v1")
+        assert "not_there.py" not in commit.files
+
+
+class TestAppendOnlyJournal:
+    def test_events_append_instead_of_rewriting_history(self, repo, workdir):
+        repo.commit("v1")
+        (workdir / "train.py").write_text("print('v2')\n")
+        repo.commit("v2")
+        log_path = workdir / ".objects" / Repository.LOG_NAME
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        ops = [event["op"] for event in events]
+        assert ops.count("commit") == 2
+        assert "track" in ops
+
+    def test_journal_replays_on_reopen(self, repo, workdir):
+        vid1 = repo.commit("v1").vid
+        (workdir / "train.py").write_text("print('v2')\n")
+        vid2 = repo.commit("v2").vid
+        repo.untrack("infer.py")
+        reopened = Repository(workdir / ".objects", workdir)
+        assert [c.vid for c in reopened.log()] == [vid1, vid2]
+        assert reopened.tracked == ["train.py"]
+
+    def test_compaction_folds_journal_into_snapshot(self, repo, workdir, monkeypatch):
+        monkeypatch.setattr(Repository, "COMPACT_EVERY", 3)
+        vids = []
+        for i in range(5):
+            (workdir / "train.py").write_text(f"print({i})\n")
+            vids.append(repo.commit(f"v{i}").vid)
+        log_path = workdir / ".objects" / Repository.LOG_NAME
+        snapshot = json.loads((workdir / ".objects" / Repository.JOURNAL_NAME).read_text())
+        assert len(snapshot["commits"]) >= 3  # compaction ran at least once
+        if log_path.exists():
+            assert len(log_path.read_text().splitlines()) < 5
+        reopened = Repository(workdir / ".objects", workdir)
+        assert [c.vid for c in reopened.log()] == vids
+        assert reopened.tracked == ["infer.py", "train.py"]
+
+    def test_corrupt_journal_line_raises(self, repo, workdir):
+        repo.commit("v1")
+        log_path = workdir / ".objects" / Repository.LOG_NAME
+        log_path.write_text(log_path.read_text() + "{not json\n")
+        with pytest.raises(VersioningError):
+            Repository(workdir / ".objects", workdir)
+
+    def test_unknown_journal_op_raises(self, repo, workdir):
+        log_path = workdir / ".objects" / Repository.LOG_NAME
+        log_path.write_text(json.dumps({"op": "merge"}) + "\n")
+        with pytest.raises(VersioningError):
+            Repository(workdir / ".objects", workdir)
+
+    def test_interrupted_compaction_does_not_duplicate_commits(self, repo, workdir):
+        """Regression: a crash between compaction's snapshot replace and
+        journal unlink leaves folded events behind; replay must not append
+        them twice."""
+        vids = []
+        for i in range(3):
+            (workdir / "train.py").write_text(f"print({i})\n")
+            vids.append(repo.commit(f"v{i}").vid)
+        log_path = workdir / ".objects" / Repository.LOG_NAME
+        leftover_journal = log_path.read_text()
+        repo._save_snapshot()  # compaction step 1: snapshot folds everything
+        log_path.write_text(leftover_journal)  # crash before step 2's unlink
+        reopened = Repository(workdir / ".objects", workdir)
+        assert [c.vid for c in reopened.log()] == vids  # no duplicates
+        assert reopened.head().vid == vids[-1]
+
+    def test_legacy_snapshot_only_layout_still_loads(self, workdir):
+        # A repository written before the append-only journal existed has a
+        # commits.json and no commits.jsonl.
+        repo = Repository(workdir / ".objects", workdir)
+        repo.track("train.py")
+        vid = repo.commit("v1").vid
+        repo._save_snapshot()  # fold everything into commits.json
+        assert not (workdir / ".objects" / Repository.LOG_NAME).exists()
+        reopened = Repository(workdir / ".objects", workdir)
+        assert vid in reopened
+        assert reopened.tracked == ["train.py"]
