@@ -1,0 +1,206 @@
+"""T11 — Job orchestration: durable backfill jobs vs. inline, crash-and-resume.
+
+The ``repro.jobs`` subsystem moves multiversion hindsight backfills off the
+request path: a job is persisted, claimed under a heartbeat-renewed lease,
+executed one version at a time with a durable progress checkpoint after each
+version, and supervised with bounded retries.  Two measurements:
+
+* **Jobs vs. inline** — the same multi-tenant backfill work-list
+  (:class:`~repro.workloads.BackfillJobWorkload`) executed as a serial
+  in-process loop versus one durable job per tenant drained by a
+  :class:`~repro.jobs.JobRunner` worker pool.  Queue supervision (claims,
+  leases, heartbeats, per-version events) must stay cheap: asserted at full
+  scale, the jobs path finishes within ``OVERHEAD_CEILING ×`` the inline
+  wall-clock while producing identical records — and every replay survives a
+  process-death at any point, which the inline loop cannot claim.
+* **Crash and resume** — a worker "dies" (stops heartbeating) mid-backfill
+  after K versions; once the lease lapses, a fresh runner reclaims the job.
+  Asserted: the resumed execution replays only the ``versions − K``
+  unfinished versions, and the backfilled column is complete.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import report
+
+from repro import ProjectConfig, Session
+from repro.jobs import (
+    JobInterrupted,
+    JobRunner,
+    JobStore,
+    directory_session_provider,
+    execute_job,
+    pool_session_provider,
+)
+from repro.service import DatabasePool
+from repro.workloads import BackfillJobWorkload
+
+#: (projects, versions) per scale; smoke keeps CI's shared runners fast.
+SCALES = {"smoke": (2, 2), "full": (4, 4)}
+EPOCHS = 4
+STEPS = 2
+WORKERS = 4
+
+#: Full-scale bound on queue-supervision overhead: the durable path pays
+#: store transactions + per-version events + per-version session checkouts
+#: on top of the same replays, and multi-tenant workers claw most of it
+#: back.  Crash-safety must not cost more than this factor.
+OVERHEAD_CEILING = 2.0
+
+
+def _workload(scale: str) -> BackfillJobWorkload:
+    projects, versions = SCALES[scale]
+    return BackfillJobWorkload(
+        projects=projects, versions=versions, epochs=EPOCHS, steps=STEPS
+    )
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.parametrize("scale", sorted(SCALES))
+def test_jobs_vs_inline_backfill(benchmark, tmp_path, scale):
+    workload = _workload(scale)
+    inline_root = tmp_path / "inline"
+    jobs_root = tmp_path / "jobs"
+    workload.populate(inline_root)
+    workload.populate(jobs_root)
+
+    inline_records, inline_seconds = _time(lambda: workload.backfill_inline(inline_root))
+
+    # The jobs path runs the way `repro serve --job-workers N` does: workers
+    # check out shards from a DatabasePool, so tenant sessions stay open
+    # across the per-version checkouts.
+    pool = DatabasePool(jobs_root, capacity=workload.projects)
+    store = JobStore.open(jobs_root)
+    try:
+        job_ids = workload.submit_all(store)
+        runner = JobRunner(
+            store, pool_session_provider(pool), workers=WORKERS, poll_interval=0.01
+        )
+
+        def drain() -> bool:
+            return runner.run_until_idle(timeout=300.0)
+
+        idle, jobs_seconds = benchmark.pedantic(
+            lambda: _time(drain), rounds=1, iterations=1
+        )
+        assert idle, "job queue did not drain"
+        jobs = [store.require(job_id) for job_id in job_ids]
+        assert all(job.state == "succeeded" for job in jobs), [
+            (job.id, job.state, job.error) for job in jobs
+        ]
+        jobs_records = sum(job.result["new_records"] for job in jobs)
+    finally:
+        store.close()
+        pool.close()
+
+    expected = workload.projects * workload.expected_new_records
+    overhead = jobs_seconds / inline_seconds if inline_seconds else float("inf")
+    report(
+        f"T11: jobs vs inline backfill, {scale} scale"
+        f" ({workload.projects} tenants x {workload.versions} versions)",
+        [
+            {
+                "path": "inline-serial",
+                "seconds": inline_seconds,
+                "records": inline_records,
+                "records_s": inline_records / inline_seconds if inline_seconds else 0.0,
+            },
+            {
+                "path": f"jobs-{WORKERS}w",
+                "seconds": jobs_seconds,
+                "records": jobs_records,
+                "records_s": jobs_records / jobs_seconds if jobs_seconds else 0.0,
+            },
+            {"path": "overhead_x", "seconds": overhead, "records": 0, "records_s": 0.0},
+        ],
+    )
+    assert inline_records == expected
+    assert jobs_records == expected
+    if scale == "full":
+        assert overhead <= OVERHEAD_CEILING, (
+            f"durable jobs took {overhead:.2f}x the inline serial backfill"
+            f" (ceiling {OVERHEAD_CEILING}x)"
+        )
+
+
+def test_crash_and_resume_replays_only_remaining(benchmark, tmp_path):
+    """Acceptance: restart reclaims the lease and replays only unfinished versions."""
+    projects, versions = SCALES["full"]
+    workload = BackfillJobWorkload(projects=1, versions=versions, epochs=EPOCHS, steps=STEPS)
+    root = tmp_path / "crash"
+    workload.populate(root)
+    crash_after = versions // 2
+
+    store = JobStore.open(root, lease_seconds=0.05)
+    try:
+        job_id = workload.submit_all(store)[0]
+        claimed = store.claim("doomed-worker")
+        assert claimed is not None and claimed.id == job_id
+        store.mark_running(job_id, "doomed-worker")
+
+        calls = {"n": 0}
+
+        def die_after_k() -> bool:
+            calls["n"] += 1
+            return calls["n"] > crash_after
+
+        with pytest.raises(JobInterrupted):
+            # The "crash": the worker stops mid-job and never releases or
+            # fails the lease — exactly what a SIGKILL looks like to the
+            # store.  Progress checkpoints for the first K versions are
+            # already durable.
+            execute_job(
+                claimed,
+                store,
+                directory_session_provider(root),
+                worker="doomed-worker",
+                should_stop=die_after_k,
+            )
+        assert len(store.completed_versions(job_id)) == crash_after
+        time.sleep(0.1)  # let the abandoned lease lapse
+
+        runner = JobRunner(
+            store, directory_session_provider(root), workers=1, lease_seconds=10.0
+        )
+        idle, resume_seconds = benchmark.pedantic(
+            lambda: _time(lambda: runner.run_until_idle(timeout=120.0)),
+            rounds=1,
+            iterations=1,
+        )
+        assert idle
+        job = store.require(job_id)
+        assert job.state == "succeeded"
+        assert job.result["versions_checkpointed"] == crash_after
+        assert job.result["versions_replayed"] == versions - crash_after
+
+        kinds = [event.kind for event in store.events(job_id)]
+        assert kinds.count("lease_reclaimed") == 1
+        # One 'version' event per version total, across both executions.
+        assert kinds.count("version") == versions
+    finally:
+        store.close()
+
+    project = workload.project_names()[0]
+    with Session(ProjectConfig(root / project, project)) as session:
+        frame = session.dataframe("weight")
+        assert len(frame) == workload.expected_new_records
+
+    report(
+        "T11: crash-and-resume",
+        [
+            {
+                "versions": versions,
+                "checkpointed_before_crash": crash_after,
+                "replayed_on_resume": versions - crash_after,
+                "resume_seconds": resume_seconds,
+            }
+        ],
+    )

@@ -39,6 +39,12 @@ Subpackages
                       shard's background flusher), and
                       append/commit/dataframe/SQL endpoints behind the
                       ``serve`` CLI subcommand
+``repro.jobs``        durable background job orchestration: a SQLite-backed
+                      queue (lease + heartbeat, bounded retries with
+                      backoff, per-version progress checkpoints) and a
+                      worker pool executing hindsight backfills/replays
+                      under supervision — over HTTP, embedded in ``serve
+                      --job-workers``, or via the ``jobs`` CLI group
 
 The ``flordb`` command line (:mod:`repro.cli`) covers the shell side:
 ``names``/``versions``/``dataframe``/``sql``/``stats`` for queries,
@@ -55,6 +61,7 @@ from .core.replay import ReplayPlan
 from .core.session import Session, active_session
 from .dataframe import DataFrame
 from .errors import ReproError
+from .jobs import JobRunner, JobStore
 from .query import PivotViewCache, QueryEngine
 from .runtime import AsyncCheckpointWriter, BackgroundFlusher, RecordBuffer
 
@@ -72,6 +79,8 @@ __all__ = [
     "DataFrame",
     "QueryEngine",
     "PivotViewCache",
+    "JobStore",
+    "JobRunner",
     "RecordBuffer",
     "BackgroundFlusher",
     "AsyncCheckpointWriter",

@@ -18,22 +18,31 @@ Both query subcommands route through the session's
 the Python API and the HTTP service use.
 ``stats``      table row counts and storage summary
 ``backfill``   multiversion hindsight logging for a script in the project
+               (``--dry-run`` prints the propagation patch plan per version
+               without executing any replay)
 ``build``      incremental (optionally parallel) build of a Makefile target
 ``serve``      multi-tenant HTTP service over the projects under a root
                directory (sharded pool + batched ingestion; see
-               :mod:`repro.service`)
+               :mod:`repro.service`); ``--job-workers N`` embeds N durable
+               job workers, and SIGTERM/SIGINT drain them gracefully
+``jobs``       durable background jobs over the same root:
+               ``submit | status | watch | list | cancel | retry | run``
+               (see :mod:`repro.jobs`)
 
 Example::
 
     python -m repro.cli --project ./myproj dataframe acc recall
     python -m repro.cli --project ./myproj sql "SELECT COUNT(*) FROM logs"
-    python -m repro.cli --project ./myproj backfill train.py
+    python -m repro.cli --project ./myproj backfill train.py --dry-run
     python -m repro.cli --project ./myproj build run --jobs 4
-    python -m repro.cli --project ./projects serve --port 8230
+    python -m repro.cli --project ./projects serve --port 8230 --job-workers 2
+    python -m repro.cli --project ./projects jobs submit alpha train.py
+    python -m repro.cli --project ./projects jobs watch 1
 
-Note that ``serve`` interprets ``--project`` differently from the other
-subcommands: it is the *root holding one project subdirectory per tenant*
-(``<root>/<name>/.flor``), because the service is multi-tenant by design.
+Note that ``serve`` and ``jobs`` interpret ``--project`` differently from
+the other subcommands: it is the *root holding one project subdirectory per
+tenant* (``<root>/<name>/.flor``), because the service — and the job queue
+that feeds its workers — is multi-tenant by design.
 """
 
 from __future__ import annotations
@@ -115,6 +124,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_dry_run(report) -> None:
+    """Print the propagation patch plan per version (no replay executed)."""
+    print(f"dry run: patch plan for {report.filename!r} across {len(report.versions)} version(s)")
+    for version in report.versions:
+        if version.error is not None:
+            print(f"  {version.vid}  error: {version.error}")
+            continue
+        propagation = version.propagation
+        print(
+            f"  {version.vid}  inject={version.injected_statements}"
+            f"  drop={version.skipped_statements}"
+            f"  already_present={len(propagation.already_present) if propagation else 0}"
+        )
+        if propagation is None:
+            continue
+        placed = dict((id(stmt), line) for stmt, line in propagation.placements)
+        for statement in propagation.injected:
+            anchor = placed.get(id(statement))
+            if anchor is None:
+                where = "anchor unknown"
+            elif anchor == 0:
+                where = "at top of file"
+            else:
+                # Insertion index N means the statement lands after old line N.
+                where = f"after old line {anchor}"
+            print(f"    + {statement.text.strip().splitlines()[0]}  ({where})")
+        for statement in propagation.skipped:
+            print(
+                f"    ! dropped (would not parse/anchor): "
+                f"{statement.text.strip().splitlines()[0]}"
+            )
+
+
 def _cmd_backfill(args: argparse.Namespace) -> int:
     with _open_session(args) as session:
         engine = HindsightEngine(session)
@@ -128,7 +170,11 @@ def _cmd_backfill(args: argparse.Namespace) -> int:
             plan=plan,
             parallelism=args.parallelism,
             max_workers=args.workers,
+            dry_run=args.dry_run,
         )
+        if args.dry_run:
+            _print_dry_run(report)
+            return 0 if all(v.error is None for v in report.versions) else 1
         summary = report.summary()
         for key, value in summary.items():
             print(f"{key:>22}: {value}")
@@ -167,7 +213,32 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_shutdown_signals(shutdown_event) -> None:
+    """Route SIGTERM/SIGINT into ``shutdown_event`` for graceful container stops.
+
+    ``docker stop`` / Kubernetes pod eviction deliver SIGTERM; without a
+    handler the process dies mid-request with job leases dangling until they
+    expire.  With it, the server loop exits, job workers drain (in-flight
+    jobs are released at a version boundary), and shards flush.  Signal
+    handlers can only be installed from the main thread — tests driving
+    ``serve`` from a worker thread simply skip them.
+    """
+    import signal
+
+    def _handler(_signum, _frame):
+        shutdown_event.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _handler)
+        except ValueError:  # not the main thread
+            return
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .jobs import JobRunner, pool_session_provider
     from .service import FlorService
     from .service.server import serve
 
@@ -178,17 +249,165 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush_interval=None if args.flush_interval <= 0 else args.flush_interval,
         flush_mode="sync" if args.sync_flush else None,
     )
+    shutdown_event = threading.Event()
+    _install_shutdown_signals(shutdown_event)
+    runner = None
+    if args.job_workers > 0:
+        runner = JobRunner(
+            service.jobs,
+            pool_session_provider(service.pool),
+            workers=args.job_workers,
+            name="serve-jobs",
+        ).start()
 
     def ready(host: str, port: int) -> None:
         print(f"serving FlorDB projects under {service.root} at http://{host}:{port}")
         print("routes: POST /projects/<name>/logs | POST /projects/<name>/commit")
         print("        GET  /projects/<name>/dataframe?names=... | GET /projects/<name>/sql?q=...")
+        print("        POST /projects/<name>/jobs/backfill | GET /jobs/<id> | POST /jobs/<id>/cancel")
+        if runner is not None:
+            print(f"job workers: {args.job_workers} (durable queue at {service.root}/.flor-jobs.db)")
+        sys.stdout.flush()
 
     try:
-        serve(service.app(), host=args.host, port=args.port, quiet=args.quiet, ready=ready)
+        serve(
+            service.app(),
+            host=args.host,
+            port=args.port,
+            quiet=args.quiet,
+            ready=ready,
+            shutdown_event=shutdown_event,
+        )
     finally:
+        # Drain order matters: stop claiming and release in-flight jobs
+        # first, then flush and close the shards the workers were using.
+        if runner is not None:
+            runner.stop(wait=True)
         service.close()
     return 0
+
+
+def _open_job_store(args: argparse.Namespace):
+    from .jobs import JobStore
+
+    return JobStore.open(Path(args.project).resolve())
+
+
+def _print_job(job, *, verbose: bool = False) -> None:
+    line = (
+        f"job {job.id}  [{job.state}]  project={job.project}  kind={job.kind}"
+        f"  attempts={job.attempts}/{job.max_attempts}"
+    )
+    if job.error:
+        line += f"  error={job.error!r}"
+    print(line)
+    if verbose:
+        result = job.result or {}
+        for key in sorted(result):
+            print(f"    {key}: {result[key]}")
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    from .config import FLOR_DIR_NAME
+
+    home = Path(args.project).resolve() / args.name / FLOR_DIR_NAME
+    if not home.is_dir():
+        # Fail at submit time, not execution time: a typo'd tenant name
+        # should not become a durable job that workers fail on later.
+        raise ReproError(f"unknown project {args.name!r}: no {home} on disk")
+    payload: dict = {"filename": args.filename}
+    if args.source:
+        payload["new_source"] = Path(args.source).read_text()
+    if args.epoch is not None:
+        payload["plan"] = {args.loop: list(args.epoch)}
+    if args.versions:
+        payload["versions"] = args.versions
+    with _open_job_store(args) as store:
+        job = store.submit(
+            args.name,
+            args.kind,
+            payload,
+            priority=args.priority,
+            max_attempts=args.max_attempts,
+        )
+        _print_job(job)
+    return 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    with _open_job_store(args) as store:
+        job = store.require(args.job_id)
+        _print_job(job, verbose=True)
+        if args.events:
+            for event in store.events(job.id):
+                print(f"    #{event.seq:<4} {event.kind:<18} {event.payload}")
+    return 0
+
+
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    with _open_job_store(args) as store:
+        jobs = store.list_jobs(project=args.name, state=args.state, limit=args.limit)
+        if not jobs:
+            print("(no jobs)", file=sys.stderr)
+        for job in jobs:
+            _print_job(job)
+    return 0
+
+
+def _cmd_jobs_watch(args: argparse.Namespace) -> int:
+    """Poll a job until it reaches a terminal state, streaming its events."""
+    import time as _time
+
+    with _open_job_store(args) as store:
+        deadline = None if args.timeout <= 0 else _time.monotonic() + args.timeout
+        last_seq = 0
+        while True:
+            job = store.require(args.job_id)
+            for event in store.events(job.id, after=last_seq):
+                last_seq = event.seq
+                print(f"  #{event.seq:<4} {event.kind:<18} {event.payload}")
+            if job.terminal:
+                _print_job(job, verbose=True)
+                return 0 if job.state == "succeeded" else 1
+            if deadline is not None and _time.monotonic() >= deadline:
+                print(f"timed out after {args.timeout}s; job {job.id} is {job.state}", file=sys.stderr)
+                return 1
+            _time.sleep(args.interval)
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    with _open_job_store(args) as store:
+        job = store.cancel(args.job_id)
+        _print_job(job)
+        return 0
+
+
+def _cmd_jobs_retry(args: argparse.Namespace) -> int:
+    with _open_job_store(args) as store:
+        job = store.retry(args.job_id)
+        _print_job(job)
+        return 0
+
+
+def _cmd_jobs_run(args: argparse.Namespace) -> int:
+    """Drain the queue in-process (no HTTP server): the CLI-side worker."""
+    from .jobs import JobRunner, directory_session_provider
+
+    root = Path(args.project).resolve()
+    with _open_job_store(args) as store:
+        runner = JobRunner(
+            store,
+            directory_session_provider(root),
+            workers=args.workers,
+            name="cli-jobs",
+        )
+        idle = runner.run_until_idle(timeout=args.timeout)
+        stats = runner.stats.as_dict()
+        print("  ".join(f"{key}={value}" for key, value in stats.items()))
+        if not idle:
+            print(f"queue not idle after {args.timeout}s", file=sys.stderr)
+            return 1
+        return 0 if stats["failed"] == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--workers", type=int, default=4)
     sub.add_argument("--loop", default="epoch", help="loop name restricted by --epoch")
     sub.add_argument("--epoch", type=int, nargs="*", default=None, help="only replay these iterations")
+    sub.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the propagation patch plan per version (statements injected,"
+        " anchors, statements dropped as unparseable) without executing any replay",
+    )
     sub.set_defaults(func=_cmd_backfill)
 
     sub = subparsers.add_parser("build", help="incrementally build a Makefile target")
@@ -255,7 +480,61 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--flush-size", type=int, default=64, help="records coalesced per ingestion transaction")
     sub.add_argument("--flush-interval", type=float, default=0.5, help="seconds between interval-triggered flushes (<=0 disables)")
     sub.add_argument("--quiet", action="store_true", help="suppress per-request access logging")
+    sub.add_argument(
+        "--job-workers",
+        type=int,
+        default=0,
+        help="embed N durable job workers draining the root's job queue (0 disables)",
+    )
     sub.set_defaults(func=_cmd_serve)
+
+    jobs = subparsers.add_parser(
+        "jobs",
+        help="durable background jobs for the projects under --project (see 'serve')",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    sub = jobs_sub.add_parser("submit", help="enqueue a backfill/replay job for one project")
+    sub.add_argument("name", help="project (tenant) name under the root")
+    sub.add_argument("filename", help="script path relative to the project root (as recorded)")
+    sub.add_argument("--kind", choices=["backfill", "replay"], default="backfill")
+    sub.add_argument("--source", default=None, help="file holding the new source (default: project working copy)")
+    sub.add_argument("--versions", nargs="*", default=None, help="restrict to these version ids")
+    sub.add_argument("--loop", default="epoch", help="loop name restricted by --epoch")
+    sub.add_argument("--epoch", type=int, nargs="*", default=None, help="only replay these iterations")
+    sub.add_argument("--priority", type=int, default=0, help="higher claims first")
+    sub.add_argument("--max-attempts", type=int, default=3, help="retry budget before the job fails")
+    sub.set_defaults(func=_cmd_jobs_submit)
+
+    sub = jobs_sub.add_parser("status", help="print one job's state (and optionally its event trail)")
+    sub.add_argument("job_id", type=int)
+    sub.add_argument("--events", action="store_true", help="also print the job_events trail")
+    sub.set_defaults(func=_cmd_jobs_status)
+
+    sub = jobs_sub.add_parser("list", help="list recent jobs")
+    sub.add_argument("--name", default=None, help="only jobs of this project")
+    sub.add_argument("--state", default=None, help="only jobs in this state")
+    sub.add_argument("--limit", type=int, default=20)
+    sub.set_defaults(func=_cmd_jobs_list)
+
+    sub = jobs_sub.add_parser("watch", help="stream a job's events until it reaches a terminal state")
+    sub.add_argument("job_id", type=int)
+    sub.add_argument("--interval", type=float, default=0.2, help="poll interval in seconds")
+    sub.add_argument("--timeout", type=float, default=120.0, help="give up after this many seconds (<=0 waits forever)")
+    sub.set_defaults(func=_cmd_jobs_watch)
+
+    sub = jobs_sub.add_parser("cancel", help="cancel a queued job (or flag a running one)")
+    sub.add_argument("job_id", type=int)
+    sub.set_defaults(func=_cmd_jobs_cancel)
+
+    sub = jobs_sub.add_parser("retry", help="re-queue a failed/cancelled job with a fresh budget")
+    sub.add_argument("job_id", type=int)
+    sub.set_defaults(func=_cmd_jobs_retry)
+
+    sub = jobs_sub.add_parser("run", help="drain the job queue in-process (no HTTP server)")
+    sub.add_argument("--workers", type=int, default=1)
+    sub.add_argument("--timeout", type=float, default=300.0, help="stop draining after this many seconds")
+    sub.set_defaults(func=_cmd_jobs_run)
     return parser
 
 

@@ -37,6 +37,9 @@ class VersionBackfill:
     skipped_statements: int = 0
     replay: ReplayResult | None = None
     error: str | None = None
+    #: Full propagation outcome (patch plan, anchors, dropped statements),
+    #: kept so dry runs can report the plan without executing any replay.
+    propagation: PropagationResult | None = None
 
     @property
     def ok(self) -> bool:
@@ -113,6 +116,7 @@ class HindsightEngine:
         max_workers: int = 4,
         include_latest: bool = True,
         extra_globals: dict | None = None,
+        dry_run: bool = False,
     ) -> BackfillReport:
         """Propagate the latest logging statements into prior versions and replay.
 
@@ -137,6 +141,11 @@ class HindsightEngine:
             Whether to also replay the most recent epoch (it usually already
             has the values, but replaying keeps the view complete when the
             statements were added after its run).
+        dry_run:
+            Stop after propagation: the report carries each version's patch
+            plan (statements injected, anchors, statements dropped as
+            unparseable) on ``VersionBackfill.propagation`` but nothing is
+            replayed and no records are written.
         """
         started = time.perf_counter()
         if new_source is None:
@@ -163,12 +172,14 @@ class HindsightEngine:
                 propagation: PropagationResult = propagate_statements(old_source, new_source)
                 entry.injected_statements = propagation.injected_count
                 entry.skipped_statements = len(propagation.skipped)
+                entry.propagation = propagation
                 tasks.append((entry, propagation.patched_source))
             except Exception as exc:
                 entry.error = f"{type(exc).__name__}: {exc}"
             report.versions.append(entry)
 
-        self._execute(tasks, plan or ReplayPlan.all(), parallelism, max_workers, extra_globals)
+        if not dry_run:
+            self._execute(tasks, plan or ReplayPlan.all(), parallelism, max_workers, extra_globals)
         report.wall_seconds = time.perf_counter() - started
         return report
 

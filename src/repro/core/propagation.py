@@ -117,6 +117,11 @@ class PropagationResult:
     injected: list[FlorStatement] = field(default_factory=list)
     skipped: list[FlorStatement] = field(default_factory=list)
     already_present: list[FlorStatement] = field(default_factory=list)
+    #: ``(statement, anchor_line)`` per injected statement: the 1-based line
+    #: of the *old* source after which the statement was inserted (0 = top of
+    #: file).  Dry-run reporting prints these so a developer can audit the
+    #: patch plan without executing any replay.
+    placements: list[tuple[FlorStatement, int]] = field(default_factory=list)
 
     @property
     def injected_count(self) -> int:
@@ -171,31 +176,33 @@ def propagate_statements(
         else:
             to_inject.append(statement)
 
-    # Plan insertions as (old_insertion_index, indented_statement_lines).
-    insertions: list[tuple[int, list[str]]] = []
+    # Plan insertions as (statement, old_insertion_index, indented_lines).
+    insertions: list[tuple[FlorStatement, int, list[str]]] = []
     skipped: list[FlorStatement] = []
     for statement in to_inject:
         plan = _plan_insertion(statement, old_lines, new_lines, old_for_new)
         if plan is None:
             skipped.append(statement)
         else:
-            insertions.append(plan)
+            index, text_lines = plan
+            insertions.append((statement, index, text_lines))
 
     patched_lines = list(old_lines)
     # Apply bottom-up so earlier insertion indices stay valid.
-    for index, text_lines in sorted(insertions, key=lambda item: item[0], reverse=True):
+    for _stmt, index, text_lines in sorted(insertions, key=lambda item: item[1], reverse=True):
         patched_lines[index:index] = text_lines
     patched_source = "\n".join(patched_lines)
     if old_source.endswith("\n") and not patched_source.endswith("\n"):
         patched_source += "\n"
 
     injected = [s for s in to_inject if s not in skipped]
+    placements = [(stmt, index) for stmt, index, _lines in insertions]
     try:
         ast.parse(patched_source)
     except SyntaxError:
         # A combination of insertions broke the parse: fall back to inserting
         # statements one at a time, dropping the ones that break it.
-        patched_source, injected, newly_skipped = _insert_incrementally(
+        patched_source, injected, newly_skipped, placements = _insert_incrementally(
             old_source, to_inject, old_lines, new_lines, old_for_new
         )
         skipped = skipped + newly_skipped
@@ -204,6 +211,7 @@ def propagate_statements(
         injected=injected,
         skipped=skipped,
         already_present=already,
+        placements=placements,
     )
 
 
@@ -283,11 +291,12 @@ def _insert_incrementally(
     old_lines: Sequence[str],
     new_lines: Sequence[str],
     old_for_new: dict[int, int],
-) -> tuple[str, list[FlorStatement], list[FlorStatement]]:
+) -> tuple[str, list[FlorStatement], list[FlorStatement], list[tuple[FlorStatement, int]]]:
     """Insert statements one at a time, dropping any that break the parse."""
     current = old_source
     injected: list[FlorStatement] = []
     skipped: list[FlorStatement] = []
+    placements: list[tuple[FlorStatement, int]] = []
     for statement in statements:
         current_lines = current.splitlines()
         plan = _plan_insertion(statement, current_lines, new_lines, old_for_new)
@@ -305,7 +314,12 @@ def _insert_incrementally(
             continue
         current = candidate
         injected.append(statement)
-    return current, injected, skipped
+        # Report the anchor in *original* old-source coordinates (the
+        # dry-run contract): ``index`` points into the progressively
+        # patched text, shifted by every earlier insertion's height.
+        original_plan = _plan_insertion(statement, old_lines, new_lines, old_for_new)
+        placements.append((statement, original_plan[0] if original_plan else index))
+    return current, injected, skipped, placements
 
 
 def _logged_name_keys(source: str, module_alias: str) -> set[tuple[str, str | None]]:
@@ -330,6 +344,7 @@ def propagate_by_line_number(old_source: str, new_source: str, module_alias: str
     injected: list[FlorStatement] = []
     skipped: list[FlorStatement] = []
     already: list[FlorStatement] = []
+    placements: list[tuple[FlorStatement, int]] = []
     patched = list(old_lines)
     offset = 0
     for statement in statements:
@@ -349,9 +364,11 @@ def propagate_by_line_number(old_source: str, new_source: str, module_alias: str
         patched = candidate
         offset += statement.line_count
         injected.append(statement)
+        placements.append((statement, index))
     return PropagationResult(
         patched_source="\n".join(patched),
         injected=injected,
         skipped=skipped,
         already_present=already,
+        placements=placements,
     )

@@ -136,3 +136,15 @@ class RouteNotFoundError(WebAppError):
 
 class GovernanceError(ReproError):
     """Raised when a governance policy check fails hard."""
+
+
+class JobError(ReproError):
+    """Raised by the durable job orchestration layer (repro.jobs)."""
+
+
+class JobNotFoundError(JobError):
+    """Raised when a job id does not exist in the store."""
+
+    def __init__(self, job_id: int):
+        self.job_id = job_id
+        super().__init__(f"no such job: {job_id}")

@@ -157,6 +157,146 @@ class ObjectRecord:
     contents: bytes = field(repr=False, default=b"")
 
 
+#: Job lifecycle states (``jobs.state``).  ``queued`` rows are claimable;
+#: ``leased``/``running`` rows are owned by a worker under a lease;
+#: ``succeeded``/``failed``/``cancelled`` are terminal (``retry`` re-queues).
+JOB_QUEUED = "queued"
+JOB_LEASED = "leased"
+JOB_RUNNING = "running"
+JOB_SUCCEEDED = "succeeded"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_STATES = (JOB_QUEUED, JOB_LEASED, JOB_RUNNING, JOB_SUCCEEDED, JOB_FAILED, JOB_CANCELLED)
+JOB_TERMINAL_STATES = (JOB_SUCCEEDED, JOB_FAILED, JOB_CANCELLED)
+
+
+def _loads_or_empty(text: str | None) -> dict:
+    if not text:
+        return {}
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError:
+        return {}
+    return loaded if isinstance(loaded, dict) else {}
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of ``jobs``: a durable unit of supervised background work."""
+
+    id: int
+    project: str
+    kind: str
+    payload: dict
+    state: str
+    priority: int = 0
+    attempts: int = 0
+    max_attempts: int = 3
+    not_before: float = 0.0
+    cancel_requested: bool = False
+    lease_owner: str | None = None
+    lease_expires: float | None = None
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: dict | None = None
+
+    #: SELECT column order mirrored by :meth:`from_row`.
+    COLUMNS = (
+        "id", "project", "kind", "payload", "state", "priority", "attempts",
+        "max_attempts", "not_before", "cancel_requested", "lease_owner",
+        "lease_expires", "created_at", "updated_at", "started_at",
+        "finished_at", "error", "result",
+    )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JOB_TERMINAL_STATES
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "JobRecord":
+        (
+            id_, project, kind, payload, state, priority, attempts, max_attempts,
+            not_before, cancel_requested, lease_owner, lease_expires,
+            created_at, updated_at, started_at, finished_at, error, result,
+        ) = row
+        return cls(
+            id=int(id_),
+            project=project,
+            kind=kind,
+            payload=_loads_or_empty(payload),
+            state=state,
+            priority=int(priority),
+            attempts=int(attempts),
+            max_attempts=int(max_attempts),
+            not_before=float(not_before),
+            cancel_requested=bool(cancel_requested),
+            lease_owner=lease_owner,
+            lease_expires=None if lease_expires is None else float(lease_expires),
+            created_at=float(created_at),
+            updated_at=float(updated_at),
+            started_at=None if started_at is None else float(started_at),
+            finished_at=None if finished_at is None else float(finished_at),
+            error=error,
+            result=None if result is None else _loads_or_empty(result),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe view served by the HTTP API and printed by the CLI."""
+        return {
+            "id": self.id,
+            "project": self.project,
+            "kind": self.kind,
+            "payload": self.payload,
+            "state": self.state,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "cancel_requested": self.cancel_requested,
+            "lease_owner": self.lease_owner,
+            "lease_expires": self.lease_expires,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+@dataclass(frozen=True)
+class JobEventRecord:
+    """One row of ``job_events``: an append-only entry in a job's trail."""
+
+    seq: int
+    job_id: int
+    kind: str
+    payload: dict
+    created_at: float = 0.0
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "JobEventRecord":
+        seq, job_id, kind, payload, created_at = row
+        return cls(
+            seq=int(seq),
+            job_id=int(job_id),
+            kind=kind,
+            payload=_loads_or_empty(payload),
+            created_at=float(created_at),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "payload": self.payload,
+            "created_at": self.created_at,
+        }
+
+
 @dataclass(frozen=True)
 class BuildDepRecord:
     """One row of ``build_deps``: a build target captured at a version."""

@@ -2,7 +2,10 @@
 
 The schema follows Figure 1 of the paper.  Columns keep the paper's names so
 that queries written against the paper translate directly.  Log and loop rows
-are append-only; the only mutable table is ``build_deps.cached``.
+are append-only; the mutable tables are ``build_deps.cached`` and the job
+orchestration pair ``jobs``/``job_events`` (``jobs`` rows advance through a
+state machine, ``job_events`` is an append-only audit/progress trail — see
+:mod:`repro.jobs`).
 """
 
 from __future__ import annotations
@@ -13,8 +16,9 @@ from ..errors import SchemaError
 
 SCHEMA_VERSION = 1
 
-#: Physical tables in creation order (white boxes of Figure 1).
-TABLES = ("meta", "logs", "loops", "ts2vid", "obj_store", "build_deps")
+#: Physical tables in creation order (white boxes of Figure 1, plus the
+#: job-orchestration tables added for the production service layer).
+TABLES = ("meta", "logs", "loops", "ts2vid", "obj_store", "build_deps", "jobs", "job_events")
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -89,6 +93,48 @@ CREATE TABLE IF NOT EXISTS build_deps (
     cached          INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (vid, target)
 );
+
+-- Durable background jobs (repro.jobs).  A row is the single source of
+-- truth for one unit of supervised work (a hindsight backfill or replay):
+-- workers claim rows with a compare-and-swap on ``state`` and hold a
+-- heartbeat-renewed lease, so a crashed worker's job is observable and
+-- reclaimable instead of lost.  Timestamps are unix seconds (REAL).
+CREATE TABLE IF NOT EXISTS jobs (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    project          TEXT NOT NULL,
+    kind             TEXT NOT NULL,
+    payload          TEXT NOT NULL DEFAULT '{}',
+    state            TEXT NOT NULL DEFAULT 'queued',
+    priority         INTEGER NOT NULL DEFAULT 0,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    max_attempts     INTEGER NOT NULL DEFAULT 3,
+    not_before       REAL NOT NULL DEFAULT 0.0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    lease_owner      TEXT,
+    lease_expires    REAL,
+    created_at       REAL NOT NULL DEFAULT 0.0,
+    updated_at       REAL NOT NULL DEFAULT 0.0,
+    started_at       REAL,
+    finished_at      REAL,
+    error            TEXT,
+    result           TEXT
+);
+-- The claim query: queued rows whose backoff has elapsed, best priority
+-- first, FIFO within a priority.
+CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs (state, not_before, priority, id);
+CREATE INDEX IF NOT EXISTS idx_jobs_project ON jobs (project, id);
+
+-- Append-only job trail: state transitions, per-version progress
+-- checkpoints (kind='version'), and worker errors.  A resumed backfill
+-- reads its own 'version' events to skip versions already replayed.
+CREATE TABLE IF NOT EXISTS job_events (
+    seq             INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id          INTEGER NOT NULL,
+    kind            TEXT NOT NULL,
+    payload         TEXT NOT NULL DEFAULT '{}',
+    created_at      REAL NOT NULL DEFAULT 0.0
+);
+CREATE INDEX IF NOT EXISTS idx_job_events_job ON job_events (job_id, seq);
 """
 
 

@@ -12,9 +12,14 @@ package is the server side of that story, built on the in-process
   appended records into one transaction per flush (size- or
   interval-triggered), amortizing commit overhead across records,
 * :mod:`repro.service.app` — the HTTP surface: bulk append, commit,
-  dataframe and read-only SQL endpoints per project,
+  dataframe and read-only SQL endpoints per project, plus the durable job
+  endpoints (``POST /projects/<name>/jobs/backfill``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/events``, ``POST /jobs/<id>/cancel|retry``) backed by
+  the host-level :class:`~repro.jobs.JobStore`,
 * :mod:`repro.service.server` — a stdlib socket server bridging real HTTP
-  requests onto the framework (the ``repro serve`` CLI subcommand).
+  requests onto the framework (the ``repro serve`` CLI subcommand, which
+  can also embed :class:`~repro.jobs.JobRunner` workers via
+  ``--job-workers N``).
 
 Quick tour::
 

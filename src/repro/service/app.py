@@ -18,6 +18,24 @@ Routes (all JSON; ``<name>`` is a tenant/project name):
 * ``GET /projects/<name>/stats`` — per-shard row counts and queue stats.
 * ``GET /service/stats`` and ``GET /healthz`` — pool-level introspection.
 
+Durable background jobs (:mod:`repro.jobs`) ride the same surface — a
+backfill that replays dozens of versions must not block an HTTP request or
+die with a worker:
+
+* ``POST /projects/<name>/jobs/backfill`` — persist a backfill (or, with
+  ``"kind": "replay"``, a plain replay) job and return ``202`` immediately;
+  the body carries ``filename`` plus optional ``new_source``, ``versions``,
+  ``plan``, ``priority`` and ``max_attempts``.
+* ``GET /jobs`` — recent jobs (``?project=``/``?state=``/``?limit=``).
+* ``GET /jobs/<id>`` — the job's durable state-machine row.
+* ``GET /jobs/<id>/events`` — its append-only trail (state transitions and
+  per-version progress), incrementally via ``?after=<seq>``.
+* ``POST /jobs/<id>/cancel`` and ``POST /jobs/<id>/retry``.
+
+Submission is durable in the host-level jobs database; execution happens in
+the :class:`~repro.jobs.JobRunner` workers embedded by ``repro serve
+--job-workers N`` (or any external runner sharing the root).
+
 Reads flush before querying, so a client always reads its own writes even
 when its records are still queued.  Handlers run under the shard's lock
 (see :mod:`repro.service.pool`), which makes the service safe to drive
@@ -31,12 +49,14 @@ merged on the next read (benchmark T9 measures the effect).
 from __future__ import annotations
 
 import re
+import threading
 from pathlib import Path
 from typing import Any
 
 from ..config import FLOR_DIR_NAME
-from ..errors import DatabaseError, ReproError
-from ..relational.records import LogRecord, LoopRecord
+from ..errors import DatabaseError, JobError, JobNotFoundError, ReproError
+from ..jobs import JOB_KINDS, JOBS_DB_FILENAME, KIND_BACKFILL, JobStore
+from ..relational.records import JOB_STATES, LogRecord, LoopRecord
 from ..relational.schema import TABLES
 from ..webapp.framework import HttpError, JsonResponse, Request, WebApp
 from .pool import SERVICE_FILENAME, DatabasePool, ProjectShard
@@ -71,6 +91,7 @@ class FlorService:
         flush_size: int = 64,
         flush_interval: float | None = 0.5,
         flush_mode: str | None = None,
+        job_store: JobStore | None = None,
     ):
         self.root = Path(root)
         self.flush_size = flush_size
@@ -83,15 +104,40 @@ class FlorService:
             flush_interval=flush_interval,
             flush_mode=flush_mode,
         )
+        self._job_store = job_store
+        self._owns_job_store = job_store is None
+        self._jobs_lock = threading.Lock()
         self._app: WebApp | None = None
 
     def project_exists(self, name: str) -> bool:
         """Whether ``name`` is an open shard or has a ``.flor`` home on disk."""
         return name in self.pool or (self.root / name / FLOR_DIR_NAME).is_dir()
 
+    @property
+    def jobs(self) -> JobStore:
+        """The host-level durable job store (``<root>/.flor-jobs.db``), lazily
+        opened — a service that never touches jobs never creates the file.
+        Handlers run on ThreadingHTTPServer threads, so the first-open is
+        locked: exactly one store (and SQLite handle) per service."""
+        with self._jobs_lock:
+            if self._job_store is None:
+                self._job_store = JobStore.open(self.root)
+            return self._job_store
+
+    def job_counts(self) -> dict[str, int]:
+        """Per-state job counts without forcing the store into existence."""
+        if self._job_store is None and not (self.root / JOBS_DB_FILENAME).exists():
+            return {state: 0 for state in JOB_STATES}
+        return self.jobs.counts()
+
     def close(self) -> None:
-        """Flush and close every open shard."""
-        self.pool.close()
+        """Flush and close every open shard (and the job store, if opened)."""
+        try:
+            self.pool.close()
+        finally:
+            if self._job_store is not None and self._owns_job_store:
+                self._job_store.close()
+                self._job_store = None
 
     # ------------------------------------------------------------------- app
     def app(self) -> WebApp:
@@ -211,6 +257,7 @@ def create_app(service: FlorService) -> WebApp:
                 "pool": pool.stats.as_dict(),
                 "flush_size": service.flush_size,
                 "flush_interval": service.flush_interval,
+                "jobs": service.job_counts(),
             }
         )
 
@@ -274,6 +321,113 @@ def create_app(service: FlorService) -> WebApp:
             return JsonResponse(
                 {"columns": frame.columns, "records": frame.to_records(), "rows": len(frame)}
             )
+
+    # ----------------------------------------------------------------- jobs
+    def _job_id(raw: str) -> int:
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise HttpError(400, f"job id must be an integer, got {raw!r}") from exc
+
+    def _required_job(raw: str):
+        job = service.jobs.get(_job_id(raw))
+        if job is None:
+            raise HttpError(404, f"unknown job {raw}")
+        return job
+
+    @app.route("/projects/<name>/jobs/backfill", methods=("POST",))
+    def submit_backfill_job(request: Request, name: str):
+        """Persist a backfill/replay job and acknowledge immediately (202).
+
+        The heavy work — replaying every historical version — happens in the
+        job workers under lease supervision; the response carries the durable
+        job row the client polls via ``GET /jobs/<id>``.
+        """
+        name = _existing(name)
+        payload = _json_body(request)
+        filename = payload.get("filename")
+        if not filename or not isinstance(filename, str):
+            raise HttpError(400, "the job payload needs a 'filename' string")
+        kind = str(payload.get("kind", KIND_BACKFILL))
+        if kind not in JOB_KINDS:
+            raise HttpError(400, f"unknown job kind {kind!r}; expected one of {JOB_KINDS}")
+        job_payload: dict[str, Any] = {"filename": filename}
+        if payload.get("new_source") is not None:
+            if not isinstance(payload["new_source"], str):
+                raise HttpError(400, "'new_source' must be a string of source code")
+            job_payload["new_source"] = payload["new_source"]
+        if payload.get("versions") is not None:
+            versions = payload["versions"]
+            if not isinstance(versions, list) or any(not isinstance(v, str) for v in versions):
+                raise HttpError(400, "'versions' must be a list of version-id strings")
+            job_payload["versions"] = versions
+        if payload.get("plan") is not None:
+            if not isinstance(payload["plan"], dict):
+                raise HttpError(400, "'plan' must be an object mapping loop name to iterations")
+            job_payload["plan"] = payload["plan"]
+        if "include_latest" in payload:
+            job_payload["include_latest"] = bool(payload["include_latest"])
+        try:
+            job = service.jobs.submit(
+                name,
+                kind,
+                job_payload,
+                priority=_int_field(payload, "priority", 0),
+                max_attempts=_int_field(payload, "max_attempts", 3),
+            )
+        except JobError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return JsonResponse({"job": job.as_dict()}, status=202)
+
+    @app.route("/jobs")
+    def list_jobs(request: Request):
+        project = request.arg("project")
+        if project is not None:
+            project = _validated_name(project)
+        state = request.arg("state")
+        try:
+            jobs = service.jobs.list_jobs(
+                project=project, state=state, limit=_int_field(dict(request.query), "limit", 50)
+            )
+        except JobError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return JsonResponse({"jobs": [job.as_dict() for job in jobs]})
+
+    @app.route("/jobs/<job_id>")
+    def job_status(_request: Request, job_id: str):
+        return JsonResponse({"job": _required_job(job_id).as_dict()})
+
+    @app.route("/jobs/<job_id>/events")
+    def job_events(request: Request, job_id: str):
+        job = _required_job(job_id)
+        after = _int_field(dict(request.query), "after", 0)
+        events = service.jobs.events(job.id, after=after)
+        return JsonResponse(
+            {
+                "job_id": job.id,
+                "state": job.state,
+                "events": [event.as_dict() for event in events],
+                "last_seq": events[-1].seq if events else after,
+            }
+        )
+
+    @app.route("/jobs/<job_id>/cancel", methods=("POST",))
+    def cancel_job(_request: Request, job_id: str):
+        job = _required_job(job_id)
+        try:
+            job = service.jobs.cancel(job.id)
+        except JobNotFoundError as exc:  # pragma: no cover - raced deletion
+            raise HttpError(404, str(exc)) from exc
+        return JsonResponse({"job": job.as_dict()})
+
+    @app.route("/jobs/<job_id>/retry", methods=("POST",))
+    def retry_job(_request: Request, job_id: str):
+        job = _required_job(job_id)
+        try:
+            job = service.jobs.retry(job.id)
+        except JobError as exc:
+            raise HttpError(409, str(exc)) from exc
+        return JsonResponse({"job": job.as_dict()})
 
     @app.route("/projects/<name>/stats")
     def project_stats(request: Request, name: str):

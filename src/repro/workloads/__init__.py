@@ -7,6 +7,7 @@ declarative.
 """
 
 from .generator import (
+    BackfillJobWorkload,
     LoggingWorkload,
     PipelineWorkload,
     ServiceLoadReport,
@@ -25,5 +26,6 @@ __all__ = [
     "WideDagWorkload",
     "ServiceWorkload",
     "ServiceLoadReport",
+    "BackfillJobWorkload",
     "populate_logs",
 ]

@@ -12,7 +12,10 @@ Four workload shapes cover the paper's evaluation surface:
 * :class:`WideDagWorkload` — a synthetic fan-out/fan-in build DAG whose
   stages are pure compute, isolating the parallel scheduler (T7),
 * :class:`ServiceWorkload` — many concurrent clients appending through the
-  multi-tenant HTTP service layer (service throughput T8).
+  multi-tenant HTTP service layer (service throughput T8),
+* :class:`BackfillJobWorkload` — a multi-tenant root whose projects each
+  need a hindsight backfill, driven either inline or through the durable
+  job queue (job orchestration T11).
 """
 
 from __future__ import annotations
@@ -464,3 +467,82 @@ class ServiceWorkload:
             latencies=[latency for bucket in latencies for latency in bucket],
             errors=sum(errors),
         )
+
+
+@dataclass
+class BackfillJobWorkload:
+    """A service root of ``projects`` tenants, each wanting a backfill.
+
+    Every tenant gets its own committed version history (delegating to
+    :class:`VersionedScriptWorkload`) that never logged ``weight``; the
+    hindsight source adds the per-epoch statement.  The T11 benchmark
+    drives the same work-list two ways — inline serial
+    ``HindsightEngine.backfill`` calls versus one durable job per tenant
+    drained by a :class:`~repro.jobs.JobRunner` pool — and the crash
+    scenario interrupts a job mid-backfill to measure that resume replays
+    only the versions without a progress checkpoint.
+    """
+
+    projects: int = 2
+    versions: int = 3
+    epochs: int = 4
+    steps: int = 2
+    refactor: bool = True
+    filename: str = "train.py"
+
+    def script_workload(self) -> VersionedScriptWorkload:
+        return VersionedScriptWorkload(
+            versions=self.versions,
+            epochs=self.epochs,
+            steps=self.steps,
+            refactor=self.refactor,
+            filename=self.filename,
+        )
+
+    def project_names(self) -> list[str]:
+        return [f"tenant_{i:02d}" for i in range(self.projects)]
+
+    @property
+    def expected_new_records(self) -> int:
+        """Backfilled ``weight`` rows per project (one per epoch × step × version)."""
+        return self.versions * self.epochs * self.steps
+
+    def hindsight_source(self) -> str:
+        return self.script_workload().hindsight_source()
+
+    def populate(self, root: Path | str) -> dict[str, list[str]]:
+        """Create every tenant under ``root``; returns ``{project: [vids]}``."""
+        root = Path(root)
+        vids: dict[str, list[str]] = {}
+        workload = self.script_workload()
+        for name in self.project_names():
+            with Session(ProjectConfig(root / name, name)) as session:
+                vids[name] = workload.record_all_versions(session)
+        return vids
+
+    def job_payload(self) -> dict:
+        return {"filename": self.filename, "new_source": self.hindsight_source()}
+
+    def submit_all(self, store, **submit_kwargs) -> list[int]:
+        """Enqueue one backfill job per tenant; returns the job ids."""
+        payload = self.job_payload()
+        return [
+            store.submit(name, "backfill", payload, **submit_kwargs).id
+            for name in self.project_names()
+        ]
+
+    def backfill_inline(self, root: Path | str) -> int:
+        """The baseline: serial in-process backfill per tenant (no jobs).
+
+        Returns the total number of newly materialized log records.
+        """
+        from ..core.hindsight import HindsightEngine
+
+        root = Path(root)
+        new_source = self.hindsight_source()
+        total = 0
+        for name in self.project_names():
+            with Session(ProjectConfig(root / name, name)) as session:
+                report = HindsightEngine(session).backfill(self.filename, new_source=new_source)
+                total += report.new_records
+        return total

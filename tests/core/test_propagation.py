@@ -162,3 +162,66 @@ class TestLineNumberBaseline:
 
         assert weight_is_adjacent_to_loss(anchored.patched_source)
         assert not weight_is_adjacent_to_loss(baseline.patched_source)
+
+
+class TestDroppedStatementReporting:
+    """The propagation plan must *report* statements it cannot place safely —
+    never silently mangle the patched source (the `--dry-run` contract)."""
+
+    def test_unanchorable_statement_is_reported_as_skipped(self):
+        # Nothing in the new source matches the old source, so the new
+        # statement has no anchor above or below it.
+        old = 'x = 1\ny = 2'
+        new = 'flor.log("a", 1)'
+        result = propagate_statements(old, new)
+        assert result.injected == []
+        assert len(result.skipped) == 1
+        assert result.skipped[0].logged_name == "a"
+        assert result.patched_source == old  # untouched
+        ast.parse(result.patched_source)
+
+    def test_parse_breaking_insertion_is_dropped_and_reported(self):
+        # The statement's only anchor is *below* it at a deeper context: the
+        # planned insertion produces an indented line at the top of the old
+        # file, which cannot parse, so the incremental fallback drops it.
+        old = "x = 1\ny = 2"
+        new = 'if x:\n    flor.log("a", 1)\nx = 1\ny = 2'
+        result = propagate_statements(old, new)
+        assert result.injected == []
+        assert [s.logged_name for s in result.skipped] == ["a"]
+        assert result.placements == []
+        assert result.patched_source.strip() == old
+        ast.parse(result.patched_source)
+
+    def test_mixed_outcome_reports_each_bucket_once(self):
+        old = OLD_SOURCE
+        new = NEW_SOURCE + '\nif False:\n    flor.log("ghost", 1)'
+        # "weight" injects cleanly; "ghost" only anchors under an `if` that
+        # does not exist in the old version.
+        result = propagate_statements(old, new)
+        injected_names = {s.logged_name for s in result.injected}
+        skipped_names = {s.logged_name for s in result.skipped}
+        assert "weight" in injected_names
+        assert result.placements and result.placements[0][0].logged_name == "weight"
+        assert injected_names.isdisjoint(skipped_names)
+        ast.parse(result.patched_source)
+
+    def test_baseline_reports_parse_breaking_absolute_positions(self):
+        old = "x = 1\ny = 2"
+        new = 'if x:\n    flor.log("a", 1)\nx = 1\ny = 2'
+        result = propagate_by_line_number(old, new)
+        assert [s.logged_name for s in result.skipped] == ["a"]
+        assert result.patched_source == old
+        ast.parse(result.patched_source)
+
+    def test_placements_anchor_injected_statements_to_old_lines(self):
+        result = propagate_statements(OLD_SOURCE, NEW_SOURCE)
+        assert result.injected_count == 1
+        assert len(result.placements) == 1
+        statement, index = result.placements[0]
+        assert statement.logged_name == "weight"
+        # Inserted right after the loss line of the old source.
+        loss_line = OLD_SOURCE.splitlines().index(
+            '        flor.log("loss", 1.0 / (1.0 + state["w"]))'
+        )
+        assert index == loss_line + 1

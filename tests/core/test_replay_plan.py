@@ -1,0 +1,90 @@
+"""Round-trip and edge-case tests for :class:`repro.core.replay.ReplayPlan`.
+
+Plans cross process boundaries (the process-pool replay worker) and now also
+survive in job payloads (``repro.jobs``), so ``to_dict``/``from_dict`` must
+round-trip faithfully — including the degenerate shapes: ``None``, empty
+mappings, empty iteration sets and negative indices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replay import ReplayPlan
+
+
+class TestFromDict:
+    def test_from_dict_none_is_the_total_plan(self):
+        plan = ReplayPlan.from_dict(None)
+        assert plan.is_total()
+        assert plan.selects("epoch", 0)
+        assert plan.selects("anything", 10_000)
+
+    def test_from_dict_empty_mapping_is_the_total_plan(self):
+        assert ReplayPlan.from_dict({}).is_total()
+
+    def test_from_dict_coerces_iterations_to_ints(self):
+        plan = ReplayPlan.from_dict({"epoch": ["3", 4.0]})
+        assert plan.selects("epoch", 3)
+        assert plan.selects("epoch", 4)
+        assert not plan.selects("epoch", 5)
+
+    def test_from_dict_with_empty_iteration_set_selects_nothing_for_that_loop(self):
+        plan = ReplayPlan.from_dict({"epoch": []})
+        assert not plan.is_total()
+        assert not plan.selects("epoch", 0)
+        # Loops the plan does not mention still execute fully.
+        assert plan.selects("step", 0)
+
+    def test_from_dict_accepts_negative_iterations(self):
+        plan = ReplayPlan.from_dict({"epoch": [-1]})
+        assert plan.selects("epoch", -1)
+        assert not plan.selects("epoch", 0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "selections",
+        [
+            {},
+            {"epoch": [0]},
+            {"epoch": [7, 3, 5]},
+            {"epoch": [], "step": [0]},
+            {"epoch": [-2, -1, 0]},
+        ],
+    )
+    def test_to_dict_from_dict_round_trips(self, selections):
+        plan = ReplayPlan({name: frozenset(v) for name, v in selections.items()})
+        restored = ReplayPlan.from_dict(plan.to_dict())
+        assert restored == plan
+
+    def test_to_dict_sorts_iterations(self):
+        plan = ReplayPlan.only(epoch=[9, 1, 5])
+        assert plan.to_dict() == {"epoch": [1, 5, 9]}
+
+    def test_round_trip_of_the_total_plan_stays_total(self):
+        assert ReplayPlan.from_dict(ReplayPlan.all().to_dict()).is_total()
+
+
+class TestOnlyComposition:
+    def test_only_composes_across_nesting_levels(self):
+        plan = ReplayPlan.only(epoch=range(8, 10), step=[0])
+        assert plan.selects("epoch", 8)
+        assert plan.selects("epoch", 9)
+        assert not plan.selects("epoch", 7)
+        assert plan.selects("step", 0)
+        assert not plan.selects("step", 1)
+
+    def test_only_accepts_any_int_iterable(self):
+        plan = ReplayPlan.only(epoch=(i for i in (2, 4)))
+        assert plan.selects("epoch", 2) and plan.selects("epoch", 4)
+        assert not plan.selects("epoch", 3)
+
+    def test_only_with_no_loops_is_total(self):
+        assert ReplayPlan.only().is_total()
+
+    def test_plans_are_immutable_value_objects(self):
+        plan = ReplayPlan.only(epoch=[1])
+        with pytest.raises(AttributeError):
+            plan.selections = {}
+        assert plan == ReplayPlan.only(epoch=[1])

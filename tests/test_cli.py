@@ -254,3 +254,194 @@ class TestServeParser:
         out = capsys.readouterr().out
         assert "shard" in out
         assert "--flush-size" in out
+
+
+class TestBackfillDryRun:
+    def test_dry_run_prints_the_patch_plan_without_replaying(
+        self, recorded_project, capsys, tmp_path
+    ):
+        root, workload = recorded_project
+        new_source = tmp_path / "new_train.py"
+        new_source.write_text(workload.hindsight_source())
+        exit_code = main(
+            [
+                "--project",
+                str(root),
+                "backfill",
+                "train.py",
+                "--source",
+                str(new_source),
+                "--dry-run",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "dry run: patch plan" in out
+        assert 'flor.log("weight", state["w"])' in out
+        assert "after old line" in out
+        # Nothing was replayed: the weight column is still entirely empty.
+        assert main(["--project", str(root), "sql",
+                     "SELECT COUNT(*) AS n FROM logs WHERE value_name = 'weight'"]) == 0
+        assert "0" in capsys.readouterr().out
+
+    def test_dry_run_reports_dropped_statements(self, recorded_project, capsys, tmp_path):
+        root, workload = recorded_project
+        new_source = tmp_path / "new_train.py"
+        new_source.write_text(
+            workload.hindsight_source() + '\nif False:\n    flor.log("ghost", 1)'
+        )
+        assert main(
+            [
+                "--project",
+                str(root),
+                "backfill",
+                "train.py",
+                "--source",
+                str(new_source),
+                "--dry-run",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+        assert "ghost" in out
+
+
+@pytest.fixture()
+def jobs_root(tmp_path):
+    """A multi-tenant root with one populated project, as `serve` sees it."""
+    from repro.workloads import BackfillJobWorkload
+
+    workload = BackfillJobWorkload(projects=1, versions=2, epochs=2, steps=1)
+    root = tmp_path / "host"
+    workload.populate(root)
+    source = tmp_path / "new_train.py"
+    source.write_text(workload.hindsight_source())
+    return root, workload, source
+
+
+class TestJobsCli:
+    def _submit(self, root, source, *extra):
+        return main(
+            [
+                "--project",
+                str(root),
+                "jobs",
+                "submit",
+                "tenant_00",
+                "train.py",
+                "--source",
+                str(source),
+                *extra,
+            ]
+        )
+
+    def test_submit_then_run_then_watch(self, jobs_root, capsys):
+        root, workload, source = jobs_root
+        assert self._submit(root, source) == 0
+        assert "queued" in capsys.readouterr().out
+
+        assert main(["--project", str(root), "jobs", "run", "--timeout", "60"]) == 0
+        assert "succeeded=1" in capsys.readouterr().out
+
+        assert main(["--project", str(root), "jobs", "watch", "1", "--timeout", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "[succeeded]" in out
+        assert "version" in out  # per-version progress events streamed
+
+    def test_status_with_events(self, jobs_root, capsys):
+        root, _, source = jobs_root
+        self._submit(root, source)
+        capsys.readouterr()
+        assert main(["--project", str(root), "jobs", "status", "1", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "[queued]" in out
+        assert "submitted" in out
+
+    def test_cancel_then_retry_then_list(self, jobs_root, capsys):
+        root, _, source = jobs_root
+        self._submit(root, source)
+        assert main(["--project", str(root), "jobs", "cancel", "1"]) == 0
+        assert "[cancelled]" in capsys.readouterr().out
+        assert main(["--project", str(root), "jobs", "retry", "1"]) == 0
+        assert "[queued]" in capsys.readouterr().out
+        assert main(["--project", str(root), "jobs", "list", "--state", "queued"]) == 0
+        assert "job 1" in capsys.readouterr().out
+
+    def test_retry_of_queued_job_errors_cleanly(self, jobs_root, capsys):
+        root, _, source = jobs_root
+        self._submit(root, source)
+        capsys.readouterr()
+        assert main(["--project", str(root), "jobs", "retry", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_job_id_errors_cleanly(self, jobs_root, capsys):
+        root, _, _ = jobs_root
+        assert main(["--project", str(root), "jobs", "status", "42"]) == 2
+        assert "no such job" in capsys.readouterr().err
+
+
+class TestJobsParser:
+    def test_serve_gains_job_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--job-workers", "3"])
+        assert args.job_workers == 3
+        assert build_parser().parse_args(["serve"]).job_workers == 0
+
+    def test_jobs_submit_parser_carries_plan_flags(self):
+        from repro.cli import _cmd_jobs_submit, build_parser
+
+        args = build_parser().parse_args(
+            ["jobs", "submit", "alpha", "train.py", "--epoch", "2", "3", "--priority", "1"]
+        )
+        assert args.func is _cmd_jobs_submit
+        assert args.name == "alpha"
+        assert args.epoch == [2, 3]
+        assert args.priority == 1
+
+
+class TestServeShutdownSignals:
+    def test_sigterm_and_sigint_set_the_shutdown_event(self):
+        """Container deployments stop `serve` with SIGTERM: the installed
+        handler must route it into the shutdown event so workers drain."""
+        import os
+        import signal
+        import threading
+
+        from repro.cli import _install_shutdown_signals
+
+        previous = {
+            sig: signal.getsignal(sig) for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            event = threading.Event()
+            _install_shutdown_signals(event)
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert event.wait(timeout=5)
+
+            event = threading.Event()
+            _install_shutdown_signals(event)
+            os.kill(os.getpid(), signal.SIGINT)
+            assert event.wait(timeout=5)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def test_installation_from_a_worker_thread_is_skipped_not_fatal(self):
+        import threading
+
+        from repro.cli import _install_shutdown_signals
+
+        errors = []
+        event = threading.Event()
+
+        def attempt() -> None:
+            try:
+                _install_shutdown_signals(event)
+            except Exception as exc:  # noqa: BLE001 - collected for assertion
+                errors.append(exc)
+
+        thread = threading.Thread(target=attempt)
+        thread.start()
+        thread.join()
+        assert errors == []
