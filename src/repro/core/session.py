@@ -34,6 +34,7 @@ from ..config import ProjectConfig
 from ..errors import RecordingError, ReplayError
 from ..relational.database import Database
 from ..relational.records import LogRecord, LoopRecord, Ts2VidRecord
+from ..storage.protocols import RelationalStore
 from ..relational.repositories import (
     BuildDepRepository,
     LogRepository,
@@ -120,7 +121,7 @@ class Session:
         self,
         config: ProjectConfig | None = None,
         *,
-        db: Database | None = None,
+        db: "RelationalStore | None" = None,
         repository: Repository | None = None,
         mode: str = RECORD,
         default_filename: str | None = None,
@@ -135,18 +136,30 @@ class Session:
             raise RecordingError(f"unknown session mode: {mode!r}")
         if flush_mode not in (None, SYNC, ASYNC):
             raise RecordingError(f"unknown flush_mode: {flush_mode!r}")
-        self.config = (config or ProjectConfig.discover()).ensure_layout()
+        # With both stores injected (e.g. the in-memory service backend)
+        # the session never touches disk, so skip materializing the
+        # project directory layout.
+        self.config = config or ProjectConfig.discover()
+        if db is None or repository is None:
+            self.config = self.config.ensure_layout()
         self.projid = self.config.projid
         self.mode = mode
         self.flush_mode = flush_mode or (SYNC if mode == REPLAY else ASYNC)
-        self.db = db or Database(self.config.db_path)
+        self.db = db if db is not None else Database(self.config.db_path)
         self._owns_db = db is None
         self.logs = LogRepository(self.db)
         self.loops = LoopRepository(self.db)
         self.ts2vid = Ts2VidRepository(self.db)
         self.objects = ObjectRepository(self.db)
         self.build_deps = BuildDepRepository(self.db)
-        self.repository = repository or Repository(self.config.objects_dir, self.config.root)
+        # Explicit None-check: an empty Repository is falsy (len() == 0), and
+        # an injected fresh repository must not be silently replaced by a
+        # disk-backed default.
+        self.repository = (
+            repository
+            if repository is not None
+            else Repository(self.config.objects_dir, self.config.root)
+        )
         self._buffer = RecordBuffer()
         self.flusher = BackgroundFlusher(
             self.db, mode=self.flush_mode, name=f"flor-flush-{self.projid or 'default'}"

@@ -39,6 +39,7 @@ from typing import Any, Callable, Iterable
 
 from ..errors import JobError, JobNotFoundError
 from ..relational.database import Database
+from ..storage.protocols import RelationalStore
 from ..relational.records import (
     JOB_CANCELLED,
     JOB_FAILED,
@@ -94,7 +95,7 @@ class JobStore:
 
     def __init__(
         self,
-        db: Database,
+        db: RelationalStore,
         *,
         lease_seconds: float = 30.0,
         retry_backoff: float = 0.5,

@@ -47,7 +47,7 @@ from ..core.dataframe_view import (
     pivot_run,
 )
 from ..dataframe import DataFrame
-from ..relational.database import Database
+from ..storage.protocols import RelationalStore
 from ..relational.queries import (
     AnnotatedLog,
     log_watermark,
@@ -163,7 +163,7 @@ class PivotViewCache:
             return len(self._entries)
 
     # --------------------------------------------------------------- lookup
-    def dataframe(self, db: Database, projid: str, names: Sequence[str]) -> DataFrame:
+    def dataframe(self, db: RelationalStore, projid: str, names: Sequence[str]) -> DataFrame:
         """The pivoted view of ``names``, served from the freshest cache tier.
 
         Any permutation (or duplication) of the same name set shares one
@@ -216,7 +216,7 @@ class PivotViewCache:
 
     # ---------------------------------------------------------- maintenance
     def _cold_build(
-        self, db: Database, projid: str, names_key: tuple[str, ...], generation: int
+        self, db: RelationalStore, projid: str, names_key: tuple[str, ...], generation: int
     ) -> _ViewState:
         # Watermarks are read *before* the record fetch and bound it
         # (max_seq), so a concurrent append lands entirely after the
@@ -239,7 +239,7 @@ class PivotViewCache:
         return entry
 
     def _refresh(
-        self, db: Database, entry: _ViewState, current_seq: int, current_loop: int
+        self, db: RelationalStore, entry: _ViewState, current_seq: int, current_loop: int
     ) -> None:
         """Merge the append delta into the view, re-pivoting only touched runs."""
         touched: set[RunPair] = set()

@@ -25,7 +25,7 @@ from typing import Any, Sequence
 
 from ..core.dataframe_view import build_dataframe
 from ..dataframe import DataFrame
-from ..relational.database import Database
+from ..storage.protocols import RelationalStore
 from ..relational.queries import latest as latest_rows
 from .cache import CacheStats, PivotViewCache
 
@@ -45,7 +45,7 @@ class QueryEngine:
         views stay warm across requests and clients.
     """
 
-    def __init__(self, db: Database, projid: str, cache: PivotViewCache | None = None):
+    def __init__(self, db: RelationalStore, projid: str, cache: PivotViewCache | None = None):
         self.db = db
         self.projid = projid
         # Explicit None-check: an empty PivotViewCache is falsy (len() == 0),

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..dataframe import DataFrame, from_records
-from .database import Database
+from ..storage.protocols import RelationalStore
 from .records import LoopRecord, decode_value
 from .repositories import Ts2VidRepository
 
@@ -122,7 +122,7 @@ def _logs_where(
 
 
 def long_format_records(
-    db: Database,
+    db: RelationalStore,
     projid: str,
     value_names: Sequence[str] | None = None,
     *,
@@ -205,7 +205,7 @@ def long_format_records(
 
 
 def long_format_frame(
-    db: Database, projid: str, value_names: Sequence[str] | None = None
+    db: RelationalStore, projid: str, value_names: Sequence[str] | None = None
 ) -> DataFrame:
     """Long-format DataFrame view of :func:`long_format_records`."""
     records = long_format_records(db, projid, value_names)
@@ -216,7 +216,7 @@ def long_format_frame(
 # Watermarks (used by repro.query's materialized pivot-view cache)
 # ---------------------------------------------------------------------------
 
-def log_watermark(db: Database, projid: str) -> int:
+def log_watermark(db: RelationalStore, projid: str) -> int:
     """Monotonic upper bound on the project's ``logs.seq`` (0 when empty).
 
     ``seq`` is an AUTOINCREMENT rowid, so it grows monotonically and a cached
@@ -233,7 +233,7 @@ def log_watermark(db: Database, projid: str) -> int:
     return int(row[0]) if row else 0
 
 
-def loop_watermark(db: Database, projid: str) -> int:
+def loop_watermark(db: RelationalStore, projid: str) -> int:
     """Monotonic upper bound on the project's ``loops.rowid`` (0 when empty).
 
     ``INSERT OR REPLACE`` rewrites a loop row under a *new* rowid, so this
@@ -245,7 +245,7 @@ def loop_watermark(db: Database, projid: str) -> int:
     return int(row[0]) if row else 0
 
 
-def runs_touched_since(db: Database, projid: str, loop_rowid: int) -> set[tuple[str, str]]:
+def runs_touched_since(db: RelationalStore, projid: str, loop_rowid: int) -> set[tuple[str, str]]:
     """Distinct ``(tstamp, filename)`` runs with loop rows newer than the watermark."""
     rows = db.query(
         "SELECT DISTINCT tstamp, filename FROM loops WHERE projid = ? AND rowid > ?",
@@ -290,6 +290,6 @@ def latest(frame: DataFrame, column: str = "tstamp") -> DataFrame:
     return frame[frame[column] == maximum]
 
 
-def distinct_versions(db: Database, projid: str) -> list[str]:
+def distinct_versions(db: RelationalStore, projid: str) -> list[str]:
     """All version ids recorded for a project, oldest first."""
     return [record.vid for record in Ts2VidRepository(db).all(projid)]

@@ -1,6 +1,6 @@
 """Repositories: typed insert/query access for each physical table.
 
-Each repository wraps a :class:`~repro.relational.database.Database` and
+Each repository wraps a :class:`~repro.storage.protocols.RelationalStore` and
 translates between dataclass records and SQL rows.  They are intentionally
 narrow — higher-level query shapes (pivots, latest-version selection) live in
 :mod:`repro.relational.queries`.
@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .database import Database
+from ..storage.protocols import RelationalStore
 from .records import (
     BuildDepRecord,
     LogRecord,
@@ -36,7 +36,7 @@ INSERT_LOOP_SQL = (
 class LogRepository:
     """Append-only access to the ``logs`` table."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: RelationalStore):
         self._db = db
 
     def add(self, record: LogRecord) -> None:
@@ -113,7 +113,7 @@ class LogRepository:
 class LoopRepository:
     """Access to the ``loops`` table: one row per loop iteration context."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: RelationalStore):
         self._db = db
 
     def add(self, record: LoopRecord) -> None:
@@ -178,7 +178,7 @@ class LoopRepository:
 class Ts2VidRepository:
     """Access to the ``ts2vid`` table mapping timestamp epochs to version ids."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: RelationalStore):
         self._db = db
 
     def add(self, record: Ts2VidRecord) -> None:
@@ -225,7 +225,7 @@ class Ts2VidRepository:
 class ObjectRepository:
     """Access to the ``obj_store`` table holding serialized large objects."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: RelationalStore):
         self._db = db
 
     def put(self, record: ObjectRecord) -> None:
@@ -275,7 +275,7 @@ class ObjectRepository:
 class BuildDepRepository:
     """Access to the ``build_deps`` table capturing the build DAG per version."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: RelationalStore):
         self._db = db
 
     def add(self, record: BuildDepRecord) -> None:

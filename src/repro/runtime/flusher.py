@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..errors import ReproError
-from ..relational.database import Database
+from ..storage.protocols import RelationalStore
 from ..relational.repositories import INSERT_LOG_SQL, INSERT_LOOP_SQL
 
 SYNC = "sync"
@@ -108,7 +108,7 @@ class BackgroundFlusher:
 
     def __init__(
         self,
-        db: Database,
+        db: RelationalStore,
         *,
         mode: str = ASYNC,
         max_pending_rows: int = 100_000,

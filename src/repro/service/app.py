@@ -81,6 +81,19 @@ class FlorService:
     flush_mode:
         ``"async"`` (default) or ``"sync"`` record path per shard; see
         :class:`~repro.service.pool.DatabasePool`.
+    backend:
+        ``"sqlite"`` (default) or ``"memory"``; see
+        :class:`~repro.service.pool.DatabasePool`.
+    replicas:
+        When > 0, ``dataframe``/``sql`` reads are routed round-robin to
+        that many snapshot read replicas per shard.  Replica reads do not
+        flush the ingestion queue — they trade read-your-writes for
+        bounded staleness, and every response carries the serving
+        replica's ``logs.seq`` ``watermark`` so clients can reason about
+        freshness.  A client that needs read-your-writes passes
+        ``?primary=1`` to bypass the replicas for one request.
+    replica_staleness:
+        Seconds a replica may lag before a read re-ships a snapshot.
     """
 
     def __init__(
@@ -91,18 +104,25 @@ class FlorService:
         flush_size: int = 64,
         flush_interval: float | None = 0.5,
         flush_mode: str | None = None,
+        backend: str = "sqlite",
+        replicas: int = 0,
+        replica_staleness: float = 0.25,
         job_store: JobStore | None = None,
     ):
         self.root = Path(root)
         self.flush_size = flush_size
         self.flush_interval = flush_interval
         self.flush_mode = flush_mode
+        self.replicas = replicas
         self.pool = DatabasePool(
             self.root,
             capacity=pool_capacity,
             flush_size=flush_size,
             flush_interval=flush_interval,
             flush_mode=flush_mode,
+            backend=backend,
+            replicas=replicas,
+            replica_staleness=replica_staleness,
         )
         self._job_store = job_store
         self._owns_job_store = job_store is None
@@ -257,6 +277,7 @@ def create_app(service: FlorService) -> WebApp:
                 "pool": pool.stats.as_dict(),
                 "flush_size": service.flush_size,
                 "flush_interval": service.flush_interval,
+                "replicas": service.replicas,
                 "jobs": service.job_counts(),
             }
         )
@@ -288,17 +309,62 @@ def create_app(service: FlorService) -> WebApp:
             vid = shard.session.commit(message)
             return JsonResponse({"vid": vid, "tstamp": shard.session.tstamp})
 
+    def _replica_read(name: str, read):
+        """Run ``read`` against the shard's replicas *outside* the shard lock.
+
+        Replica reads never mutate shard state, and serializing them behind
+        the per-shard handler lock would forfeit exactly the horizontal read
+        scaling replicas exist for.  The shard lock is taken only long
+        enough to grab a live ``ShardReplicas`` reference; if an LRU
+        eviction closes the replicas mid-read (rare — the shard was hot a
+        moment ago), the lookup retries against the reopened shard.
+        Returns ``None`` when the pool runs without replicas.
+        """
+        for _ in range(3):
+            with pool.checkout(name) as shard:
+                replicas = shard.replicas
+            if replicas is None:
+                return None
+            try:
+                return read(replicas)
+            except DatabaseError:
+                if shard.closed:
+                    continue  # evicted mid-read; retry with a fresh shard
+                raise
+        with pool.checkout(name) as shard:  # pragma: no cover - eviction storm
+            if shard.replicas is None:
+                return None
+            return read(shard.replicas)
+
     @app.route("/projects/<name>/dataframe")
     def dataframe(request: Request, name: str):
         names_arg = request.arg("names", "") or ""
         names = [n for n in names_arg.split(",") if n]
         if not names:
             raise HttpError(400, "the 'names' query parameter is required (comma-separated)")
-        with pool.checkout(_existing(name)) as shard:
-            shard.flush()
-            frame = shard.session.dataframe(
-                *names, latest=request.arg("latest") in ("1", "true", "yes")
+        latest = request.arg("latest") in ("1", "true", "yes")
+        force_primary = request.arg("primary") in ("1", "true", "yes")
+        name = _existing(name)
+        if not force_primary:
+            # Bounded-staleness read: no queue flush, served from a snapshot
+            # replica; the watermark tells the client the highest logs.seq
+            # the replica had when it answered.
+            outcome = _replica_read(
+                name, lambda replicas: replicas.dataframe(names, latest=latest)
             )
+            if outcome is not None:
+                frame, watermark = outcome
+                return JsonResponse(
+                    {
+                        "columns": frame.columns,
+                        "records": frame.to_records(),
+                        "rows": len(frame),
+                        "watermark": watermark,
+                    }
+                )
+        with pool.checkout(name) as shard:
+            shard.flush()
+            frame = shard.session.dataframe(*names, latest=latest)
             return JsonResponse(
                 {"columns": frame.columns, "records": frame.to_records(), "rows": len(frame)}
             )
@@ -310,7 +376,26 @@ def create_app(service: FlorService) -> WebApp:
             raise HttpError(400, "the 'q' query parameter is required")
         names_arg = request.arg("names", "") or ""
         names = [n for n in names_arg.split(",") if n]
-        with pool.checkout(_existing(name)) as shard:
+        force_primary = request.arg("primary") in ("1", "true", "yes")
+        name = _existing(name)
+        if not force_primary:
+            try:
+                outcome = _replica_read(
+                    name, lambda replicas: replicas.sql(query, names=names)
+                )
+            except DatabaseError as exc:
+                raise HttpError(400, str(exc)) from exc
+            if outcome is not None:
+                frame, watermark = outcome
+                return JsonResponse(
+                    {
+                        "columns": frame.columns,
+                        "records": frame.to_records(),
+                        "rows": len(frame),
+                        "watermark": watermark,
+                    }
+                )
+        with pool.checkout(name) as shard:
             shard.flush()
             try:
                 frame = shard.session.sql(query, names=names)
@@ -442,6 +527,11 @@ def create_app(service: FlorService) -> WebApp:
                     "pending": shard.queue.pending if shard.queue else 0,
                     "ingest": shard.queue.stats.as_dict() if shard.queue else {},
                     "query_cache": shard.session.query.stats.as_dict(),
+                    "replicas": (
+                        shard.replicas.replicated.stats.as_dict()
+                        if shard.replicas is not None
+                        else None
+                    ),
                 }
             )
 

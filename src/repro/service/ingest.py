@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..relational.database import Database
+from ..storage.protocols import RelationalStore
 from ..relational.records import LogRecord, LoopRecord
 from ..runtime import SYNC, BackgroundFlusher, FlushCallbackError
 
@@ -100,7 +100,7 @@ class IngestionQueue:
         transaction per flush — the historical behaviour).
     """
 
-    db: Database
+    db: RelationalStore
     flush_size: int = 64
     flush_interval: float | None = 0.5
     clock: Callable[[], float] = time.monotonic

@@ -33,6 +33,7 @@ from typing import Callable, Iterator
 
 from ..config import ProjectConfig
 from ..core.session import Session
+from ..query.engine import QueryEngine
 from .ingest import IngestionQueue
 
 #: Filename stamped on records that arrive without one; mirrors how the
@@ -58,13 +59,75 @@ class PoolStats:
         }
 
 
+class ShardReplicas:
+    """Read replicas for one shard: snapshot handles plus warm query engines.
+
+    Wraps a :class:`~repro.storage.replica.ReplicatedDatabase` over the
+    shard session's primary handle and keeps one :class:`QueryEngine` (with
+    its own pivot-view cache) per replica.  The replica layer's ``on_sync``
+    callback bumps the matching engine's cache generation — SQLite's backup
+    API rewrites pages underneath the replica connection without advancing
+    its ``write_version``, so without this hook the per-replica materialized
+    views would serve stale fast hits forever.
+
+    Reads here deliberately do NOT flush the shard's ingestion queue: the
+    whole point of replica routing is bounded staleness instead of
+    read-your-writes, and every response carries the replica's ``logs.seq``
+    watermark so clients can see exactly how fresh their read was.
+    """
+
+    def __init__(self, session: Session, *, count: int, max_staleness: float):
+        from ..storage.replica import ReplicatedDatabase
+
+        self._engines: list[QueryEngine] = []
+        self.replicated = ReplicatedDatabase(
+            session.db,
+            replicas=count,
+            max_staleness=max_staleness,
+            on_sync=self._on_sync,
+        )
+        self._engines = [
+            QueryEngine(replica.db, session.projid)
+            for replica in self.replicated.replicas
+        ]
+
+    def _on_sync(self, index: int) -> None:
+        if self._engines:
+            self._engines[index].note_write()
+
+    def dataframe(self, names, *, latest: bool = False):
+        """Replica-routed pivot read; returns ``(DataFrame, watermark)``."""
+        with self.replicated.checkout_replica() as replica:
+            frame = self._engines[replica.index].dataframe(*names, latest=latest)
+            return frame, replica.watermark
+
+    def sql(self, query: str, names=(), params=()):
+        """Replica-routed SQL read; returns ``(DataFrame, watermark)``."""
+        with self.replicated.checkout_replica() as replica:
+            frame = self._engines[replica.index].sql(query, names, params)
+            return frame, replica.watermark
+
+    def refresh(self) -> None:
+        self.replicated.refresh()
+
+    def close(self) -> None:
+        self.replicated.close()
+
+
 class ProjectShard:
     """One open tenant: a session, its ingestion queue and a lock."""
 
-    def __init__(self, name: str, session: Session, queue: IngestionQueue | None = None):
+    def __init__(
+        self,
+        name: str,
+        session: Session,
+        queue: IngestionQueue | None = None,
+        replicas: ShardReplicas | None = None,
+    ):
         self.name = name
         self.session = session
         self.queue = queue
+        self.replicas = replicas
         self.lock = threading.RLock()
         self.closed = False
 
@@ -81,6 +144,8 @@ class ProjectShard:
             if self.closed:
                 return
             self.flush()
+            if self.replicas is not None:
+                self.replicas.close()
             self.session.close()
             self.closed = True
 
@@ -103,10 +168,25 @@ class DatabasePool:
         reuses the session's flusher, so with the default one background
         writer per shard serves both the batched ingest path and the
         session's own record path.
+    backend:
+        ``"sqlite"`` (default) stores each shard at
+        ``<root>/<name>/.flor/flor.db``; ``"memory"`` builds shards on
+        :mod:`repro.storage.memory` backends — zero disk I/O, with shard
+        state retained across LRU evictions inside the pool (an evicted
+        in-memory shard would otherwise lose its data on close).
+    replicas:
+        When > 0, each shard carries that many snapshot-shipped read
+        replicas (:class:`ShardReplicas`); the service layer routes
+        ``dataframe``/``sql`` reads to them with bounded staleness while
+        writes stay on the single-owner primary.
+    replica_staleness:
+        Seconds a replica snapshot may lag before a read re-syncs it.
     shard_factory:
         ``(name) -> ProjectShard`` hook replacing the default construction
         entirely (mainly for tests).
     """
+
+    BACKENDS = ("sqlite", "memory")
 
     def __init__(
         self,
@@ -116,15 +196,29 @@ class DatabasePool:
         flush_size: int = 64,
         flush_interval: float | None = 0.5,
         flush_mode: str | None = None,
+        backend: str = "sqlite",
+        replicas: int = 0,
+        replica_staleness: float = 0.25,
         shard_factory: Callable[[str], ProjectShard] | None = None,
     ):
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown pool backend: {backend!r}")
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
         self.root = Path(root)
         self.capacity = capacity
         self.flush_size = flush_size
         self.flush_interval = flush_interval
         self.flush_mode = flush_mode
+        self.backend = backend
+        self.replicas = replicas
+        self.replica_staleness = replica_staleness
+        # backend="memory": shard stores survive LRU eviction here, keyed by
+        # tenant name, so a reopened shard sees its full history exactly like
+        # a reopened SQLite file would.
+        self._retained: dict[str, tuple] = {}
         self._factory = shard_factory or self._default_factory
         self._shards: "OrderedDict[str, ProjectShard]" = OrderedDict()
         self._building: dict[str, threading.Event] = {}
@@ -134,7 +228,28 @@ class DatabasePool:
 
     def _default_factory(self, name: str) -> ProjectShard:
         config = ProjectConfig(self.root / name, name)
-        session = Session(config, default_filename=SERVICE_FILENAME, flush_mode=self.flush_mode)
+        if self.backend == "memory":
+            from ..storage.memory import MemoryBlobStore, MemoryRelationalStore
+            from ..versioning.repository import Repository
+
+            retained = self._retained.get(name)
+            if retained is None:
+                db = MemoryRelationalStore()
+                repository = Repository(None, config.root, store=MemoryBlobStore())
+                self._retained[name] = (db, repository)
+            else:
+                db, repository = retained
+            session = Session(
+                config,
+                db=db,
+                repository=repository,
+                default_filename=SERVICE_FILENAME,
+                flush_mode=self.flush_mode,
+            )
+        else:
+            session = Session(
+                config, default_filename=SERVICE_FILENAME, flush_mode=self.flush_mode
+            )
         # The session's query engine carries the shard's materialized pivot
         # views (one cache per shard, warm across requests).  The ingestion
         # queue writes straight to the database, so each of its flushed
@@ -150,7 +265,12 @@ class DatabasePool:
             on_flush=lambda _count: engine.note_write(),
             flusher=session.flusher,
         )
-        return ProjectShard(name, session, queue)
+        shard_replicas = None
+        if self.replicas > 0:
+            shard_replicas = ShardReplicas(
+                session, count=self.replicas, max_staleness=self.replica_staleness
+            )
+        return ProjectShard(name, session, queue, replicas=shard_replicas)
 
     # ----------------------------------------------------------------- lookup
     def get(self, name: str) -> ProjectShard:

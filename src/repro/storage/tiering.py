@@ -1,0 +1,316 @@
+"""Cold blob tiering: epoch-based archives with a local LRU cache.
+
+A long-lived FlorDB project accumulates version snapshots for every commit,
+but the working set is sharply recency-skewed: checkouts and hindsight
+queries overwhelmingly touch the last few epochs, while older blobs exist
+only for occasional backfill replay.  :class:`TieredBlobStore` moves those
+cold blobs off the hot content-addressed directory:
+
+* ``archive(ids)`` packs the named blobs into an **append-only pack file**
+  (``archive/pack-NNNN.bin``) and records ``id -> (pack, offset, length)``
+  in a JSON index (``archive/index.json``), then deletes them from the hot
+  store.  Packs are never rewritten — a new archive pass appends a new pack.
+* Reads check hot first, then the archive; archive hits go through a
+  bounded **LRU byte cache**, so a warm cold read costs one dict hit
+  instead of a seek into the pack.
+* ``put`` always lands in the hot store.  If the bytes already live in the
+  archive the put is a no-op id return — content addressing makes the two
+  tiers referentially identical.
+
+Epoch selection is policy, not mechanism: :func:`select_cold_ids` maps a
+commit journal and a ``keep_epochs`` threshold to the id set whose *only*
+references are older commits.  ``repro gc --tier-cold`` wires the two
+together.
+
+Integrity: every id is a SHA-256 of its contents, so unpacked bytes are
+re-hashable; :meth:`TieredBlobStore.verify` recomputes digests across the
+archive index.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import ObjectNotFoundError
+from ..versioning.objects import hash_bytes
+
+INDEX_FILENAME = "index.json"
+DEFAULT_CACHE_BYTES = 8 * 1024 * 1024
+
+
+class _LRUBytesCache:
+    """A byte-budgeted LRU of ``object_id -> bytes``."""
+
+    def __init__(self, max_bytes: int):
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._size = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, object_id: str) -> bytes | None:
+        with self._lock:
+            data = self._entries.get(object_id)
+            if data is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(object_id)
+            self.hits += 1
+            return data
+
+    def add(self, object_id: str, data: bytes) -> None:
+        if len(data) > self.max_bytes:
+            return
+        with self._lock:
+            if object_id in self._entries:
+                self._entries.move_to_end(object_id)
+                return
+            self._entries[object_id] = data
+            self._size += len(data)
+            while self._size > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._size -= len(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._size = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TieredBlobStore:
+    """A :class:`BlobStore` layering cold pack-file archives over a hot store.
+
+    Parameters
+    ----------
+    hot:
+        Any object satisfying the :class:`~repro.storage.protocols.BlobStore`
+        protocol (duck-typed; typically the directory-backed
+        :class:`~repro.versioning.objects.ObjectStore`).
+    archive_dir:
+        Directory holding pack files and the JSON index.  Created lazily on
+        the first :meth:`archive` call, so a project that never tiers pays
+        nothing.
+    cache_bytes:
+        Budget for the warm LRU cache fronting archive reads.
+    """
+
+    def __init__(
+        self,
+        hot: Any,
+        archive_dir: Path | str,
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ):
+        self.hot = hot
+        self.archive_dir = Path(archive_dir)
+        self.cache = _LRUBytesCache(cache_bytes)
+        self._lock = threading.Lock()
+        self._index: dict[str, tuple[str, int, int]] = {}
+        self._load_index()
+
+    # --------------------------------------------------------------- index
+    @property
+    def _index_path(self) -> Path:
+        return self.archive_dir / INDEX_FILENAME
+
+    def _load_index(self) -> None:
+        if not self._index_path.exists():
+            return
+        raw = json.loads(self._index_path.read_text("utf-8"))
+        self._index = {
+            object_id: (entry["pack"], int(entry["offset"]), int(entry["length"]))
+            for object_id, entry in raw.items()
+        }
+
+    def _save_index(self) -> None:
+        payload = {
+            object_id: {"pack": pack, "offset": offset, "length": length}
+            for object_id, (pack, offset, length) in sorted(self._index.items())
+        }
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2), "utf-8")
+        tmp.replace(self._index_path)
+
+    def _next_pack_name(self) -> str:
+        existing = sorted(self.archive_dir.glob("pack-*.bin"))
+        if not existing:
+            return "pack-0000.bin"
+        last = int(existing[-1].stem.split("-")[1])
+        return f"pack-{last + 1:04d}.bin"
+
+    # ------------------------------------------------------------- archive
+    def archive(self, ids: Iterable[str]) -> int:
+        """Pack ``ids`` into a new append-only archive; returns count moved.
+
+        Ids already archived or absent from the hot store are skipped, so
+        the operation is idempotent.  The pack file is fully written and the
+        index durably replaced *before* hot copies are deleted — a crash in
+        between leaves the blob readable from both tiers, never neither.
+        """
+        with self._lock:
+            to_move: list[str] = []
+            for object_id in ids:
+                if object_id in self._index or not self.hot.exists(object_id):
+                    continue
+                to_move.append(object_id)
+            if not to_move:
+                return 0
+            self.archive_dir.mkdir(parents=True, exist_ok=True)
+            pack_name = self._next_pack_name()
+            pack_path = self.archive_dir / pack_name
+            offset = 0
+            entries: dict[str, tuple[str, int, int]] = {}
+            with open(pack_path, "wb") as pack:
+                for object_id in to_move:
+                    data = self.hot.get(object_id)
+                    pack.write(data)
+                    entries[object_id] = (pack_name, offset, len(data))
+                    offset += len(data)
+            self._index.update(entries)
+            self._save_index()
+            for object_id in to_move:
+                self.hot.delete(object_id)
+            return len(to_move)
+
+    def _read_archived(self, object_id: str) -> bytes:
+        cached = self.cache.get(object_id)
+        if cached is not None:
+            return cached
+        with self._lock:
+            entry = self._index.get(object_id)
+        if entry is None:
+            raise ObjectNotFoundError(
+                f"object {object_id} not found in archive {self.archive_dir}"
+            )
+        pack_name, offset, length = entry
+        with open(self.archive_dir / pack_name, "rb") as pack:
+            pack.seek(offset)
+            data = pack.read(length)
+        if len(data) != length:
+            raise ObjectNotFoundError(
+                f"archived object {object_id} truncated in {pack_name}"
+            )
+        self.cache.add(object_id, data)
+        return data
+
+    def verify(self) -> list[str]:
+        """Re-hash every archived blob; return the ids that fail."""
+        bad = []
+        with self._lock:
+            ids = list(self._index)
+        for object_id in ids:
+            try:
+                data = self._read_archived(object_id)
+            except ObjectNotFoundError:
+                bad.append(object_id)
+                continue
+            if hash_bytes(data) != object_id:
+                bad.append(object_id)
+        return bad
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "archived": len(self._index),
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+        }
+
+    # ---------------------------------------------------------- BlobStore
+    def put(self, data: bytes) -> str:
+        object_id = hash_bytes(data)
+        with self._lock:
+            if object_id in self._index:
+                return object_id
+        return self.hot.put(data)
+
+    def put_text(self, text: str) -> str:
+        return self.put(text.encode("utf-8"))
+
+    def get(self, object_id: str) -> bytes:
+        if self.hot.exists(object_id):
+            return self.hot.get(object_id)
+        return self._read_archived(object_id)
+
+    def get_text(self, object_id: str) -> str:
+        return self.get(object_id).decode("utf-8")
+
+    def exists(self, object_id: str) -> bool:
+        if self.hot.exists(object_id):
+            return True
+        with self._lock:
+            return object_id in self._index
+
+    def delete(self, object_id: str) -> bool:
+        """Forget one object from whichever tier holds it.
+
+        Archived bytes stay in their pack (packs are append-only); only the
+        index entry and any cached copy are dropped.
+        """
+        if self.hot.delete(object_id):
+            return True
+        with self._lock:
+            if object_id not in self._index:
+                return False
+            del self._index[object_id]
+            self._save_index()
+        self.cache.clear()
+        return True
+
+    def __contains__(self, object_id: str) -> bool:
+        return self.exists(object_id)
+
+    def ids(self) -> Iterator[str]:
+        seen = set()
+        for object_id in self.hot.ids():
+            seen.add(object_id)
+            yield object_id
+        with self._lock:
+            archived = sorted(self._index)
+        for object_id in archived:
+            if object_id not in seen:
+                yield object_id
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.ids())
+
+
+def select_cold_ids(
+    commits: Sequence[Any],
+    *,
+    keep_epochs: int,
+) -> tuple[set[str], set[str]]:
+    """Split a commit journal's blob ids into (hot, cold) sets by epoch.
+
+    Each commit is one epoch; the newest ``keep_epochs`` commits define the
+    hot set.  A blob is cold only if *no* hot commit references it — shared
+    blobs (unchanged files across epochs) always stay hot, so checkouts of
+    recent commits never touch the archive.
+
+    Commits may be mapping-like (``{"files": {name: object_id}}``) or
+    objects with a ``files`` attribute.
+    """
+    if keep_epochs < 0:
+        raise ValueError(f"keep_epochs must be >= 0, got {keep_epochs}")
+
+    def files_of(commit: Any) -> dict[str, str]:
+        if isinstance(commit, dict):
+            return commit.get("files", {})
+        return getattr(commit, "files", {}) or {}
+
+    split = max(len(commits) - keep_epochs, 0)
+    hot: set[str] = set()
+    for commit in commits[split:]:
+        hot.update(files_of(commit).values())
+    cold: set[str] = set()
+    for commit in commits[:split]:
+        cold.update(files_of(commit).values())
+    return hot, cold - hot

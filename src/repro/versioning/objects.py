@@ -4,6 +4,10 @@ Objects are addressed by the SHA-256 of their contents and stored under
 ``<objects_dir>/<first two hex chars>/<rest>``, the same fan-out layout git
 uses.  Writing is idempotent: storing identical contents twice costs one hash
 computation and no extra disk space.
+
+This is the reference implementation of the
+:class:`repro.storage.protocols.BlobStore` protocol; the in-memory and
+cold-tiered backends live in :mod:`repro.storage`.
 """
 
 from __future__ import annotations
@@ -11,8 +15,11 @@ from __future__ import annotations
 import hashlib
 from pathlib import Path
 from typing import Iterator
+from uuid import uuid4
 
 from ..errors import ObjectNotFoundError
+
+_HEX = set("0123456789abcdef")
 
 
 def hash_bytes(data: bytes) -> str:
@@ -26,9 +33,23 @@ class ObjectStore:
     def __init__(self, root: Path | str):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp`` debris left by writers that crashed mid-put.
+
+        Safe against live writers: each writer's tmp name is unique (uuid),
+        so a concurrent ``replace`` can at worst make our ``unlink`` miss —
+        which we tolerate.
+        """
+        for tmp in self.root.glob("??/*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def _path_for(self, object_id: str) -> Path:
-        if len(object_id) < 3 or not all(c in "0123456789abcdef" for c in object_id):
+        if len(object_id) < 3 or not all(c in _HEX for c in object_id):
             raise ObjectNotFoundError(f"malformed object id: {object_id!r}")
         return self.root / object_id[:2] / object_id[2:]
 
@@ -38,9 +59,21 @@ class ObjectStore:
         path = self._path_for(object_id)
         if not path.exists():
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(data)
-            tmp.replace(path)
+            # Unique per-writer tmp name: concurrent puts of the same object
+            # must not share a staging path, or one writer's replace() can
+            # consume (or collide with) the other's half-written file.  The
+            # final replace() is atomic, and both writers hold identical
+            # bytes, so last-one-wins is correct.
+            tmp = path.parent / f"{path.name}.{uuid4().hex}.tmp"
+            try:
+                tmp.write_bytes(data)
+                tmp.replace(path)
+            except OSError:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
         return object_id
 
     def put_text(self, text: str) -> str:
@@ -61,18 +94,43 @@ class ObjectStore:
         except ObjectNotFoundError:
             return False
 
+    def delete(self, object_id: str) -> bool:
+        """Forget one object; True if it was present (used by tiering GC)."""
+        try:
+            path = self._path_for(object_id)
+        except ObjectNotFoundError:
+            return False
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        try:
+            path.parent.rmdir()  # drop the fan-out dir if now empty
+        except OSError:
+            pass
+        return True
+
     def __contains__(self, object_id: str) -> bool:
         return self.exists(object_id)
 
     def ids(self) -> Iterator[str]:
-        """Iterate over every object id currently stored."""
+        """Iterate over every object id currently stored.
+
+        Only two-hex-char fan-out directories are scanned, so sibling
+        bookkeeping (archives, indexes, stray files) can never masquerade
+        as objects; ``*.tmp`` staging files are excluded defensively even
+        though init sweeps them.
+        """
         for prefix_dir in sorted(self.root.iterdir()):
             if not prefix_dir.is_dir():
+                continue
+            name = prefix_dir.name
+            if len(name) != 2 or not all(c in _HEX for c in name):
                 continue
             for obj in sorted(prefix_dir.iterdir()):
                 if obj.suffix == ".tmp":
                     continue
-                yield prefix_dir.name + obj.name
+                yield name + obj.name
 
     def __len__(self) -> int:
         return sum(1 for _ in self.ids())

@@ -81,18 +81,48 @@ RACY_WINDOW_NS = 2_000_000_000  # 2 s
 
 
 class Repository:
-    """Linear version history over a set of tracked files."""
+    """Linear version history over a set of tracked files.
+
+    Storage is pluggable through the :class:`repro.storage.protocols.BlobStore`
+    seam: pass ``store`` to supply any backend (in-memory, tiered, …).  When
+    ``store`` is omitted, a directory-backed :class:`ObjectStore` is built at
+    ``objects_dir``.  When ``objects_dir`` is ``None`` the journal is kept
+    purely in memory (no snapshot/log files) — the in-memory service backend
+    relies on this to build shards with zero disk I/O.
+    """
 
     JOURNAL_NAME = "commits.json"
     LOG_NAME = "commits.jsonl"
     #: Fold the event journal into the snapshot past this many entries.
     COMPACT_EVERY = 512
 
-    def __init__(self, objects_dir: Path | str, working_dir: Path | str):
-        self.store = ObjectStore(objects_dir)
+    def __init__(
+        self,
+        objects_dir: "Path | str | None",
+        working_dir: Path | str,
+        *,
+        store=None,
+    ):
+        if store is None:
+            if objects_dir is None:
+                raise VersioningError("Repository needs an objects_dir or a store")
+            # Default to the tiered store so blobs archived by
+            # ``repro gc --tier-cold`` stay readable from every session.
+            # The archive directory is created lazily on the first archive
+            # pass, so untier-ed projects pay nothing for the wrapper.
+            from ..storage.tiering import TieredBlobStore
+
+            store = TieredBlobStore(
+                ObjectStore(objects_dir), Path(objects_dir) / "archive"
+            )
+        self.store = store
         self.working_dir = Path(working_dir)
-        self._journal_path = Path(objects_dir) / self.JOURNAL_NAME
-        self._log_path = Path(objects_dir) / self.LOG_NAME
+        if objects_dir is not None:
+            self._journal_path: "Path | None" = Path(objects_dir) / self.JOURNAL_NAME
+            self._log_path: "Path | None" = Path(objects_dir) / self.LOG_NAME
+        else:
+            self._journal_path = None
+            self._log_path = None
         self._commits: list[Commit] = []
         self._tracked: set[str] = set()
         self._log_entries = 0
@@ -103,6 +133,8 @@ class Repository:
 
     # ------------------------------------------------------------- journal
     def _load_journal(self) -> None:
+        if self._journal_path is None or self._log_path is None:
+            return
         if self._journal_path.exists():
             try:
                 data = json.loads(self._journal_path.read_text())
@@ -150,6 +182,8 @@ class Repository:
         The event has already been applied to the in-memory state, so
         compaction (which serializes that state wholesale) subsumes it.
         """
+        if self._log_path is None or self._journal_path is None:
+            return
         if self._log_entries >= self.COMPACT_EVERY:
             self._save_snapshot()
             return
@@ -160,6 +194,8 @@ class Repository:
 
     def _save_snapshot(self) -> None:
         """Write the full state to ``commits.json`` and truncate the journal."""
+        if self._journal_path is None or self._log_path is None:
+            return
         payload = {
             "commits": [c.to_json() for c in self._commits],
             "tracked": sorted(self._tracked),

@@ -1,0 +1,122 @@
+"""ObjectStore durability regressions: tmp-file races and crash debris."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.versioning.objects import ObjectStore, hash_bytes
+
+
+class TestConcurrentPut:
+    def test_racing_puts_of_same_object(self, tmp_path):
+        """Concurrent puts of identical bytes must not corrupt the object.
+
+        The old implementation staged every writer of one object at the same
+        ``<object>.tmp`` path, so writer A's atomic replace could consume
+        writer B's half-written file.  With unique per-writer tmp names each
+        replace publishes a complete copy.
+        """
+        store = ObjectStore(tmp_path / "objects")
+        payload = b"x" * 64_000
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    store.put(payload)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        object_id = hash_bytes(payload)
+        assert store.get(object_id) == payload
+        assert hash_bytes(store.get(object_id)) == object_id
+        # No staging debris left behind.
+        assert list((tmp_path / "objects").glob("??/*.tmp")) == []
+
+    def test_racing_puts_of_distinct_objects(self, tmp_path):
+        store = ObjectStore(tmp_path / "objects")
+        barrier = threading.Barrier(4)
+        results: list[str] = []
+        lock = threading.Lock()
+
+        def writer(worker: int) -> None:
+            barrier.wait()
+            ids = [store.put(f"worker {worker} blob {i}".encode()) for i in range(25)]
+            with lock:
+                results.extend(ids)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(set(results)) == 100
+        for object_id in results:
+            assert store.exists(object_id)
+
+
+class TestStaleTmpSweep:
+    def test_init_sweeps_planted_tmp_files(self, tmp_path):
+        """A crashed writer's ``*.tmp`` is cleaned up on the next open."""
+        root = tmp_path / "objects"
+        store = ObjectStore(root)
+        object_id = store.put(b"real blob")
+        prefix_dir = root / object_id[:2]
+        stale = prefix_dir / f"{object_id[2:]}.deadbeef.tmp"
+        stale.write_bytes(b"half-written garbage")
+
+        reopened = ObjectStore(root)
+        assert not stale.exists()
+        assert reopened.get(object_id) == b"real blob"
+
+    def test_ids_excludes_tmp_files_defensively(self, tmp_path):
+        """Even an unswept tmp file never shows up as an object id."""
+        root = tmp_path / "objects"
+        store = ObjectStore(root)
+        object_id = store.put(b"real blob")
+        # Plant debris *after* init so the sweep has not seen it.
+        (root / object_id[:2] / "0123456789.tmp").write_bytes(b"junk")
+        assert list(store.ids()) == [object_id]
+        assert len(store) == 1
+
+    def test_ids_ignores_non_fanout_directories(self, tmp_path):
+        """Bookkeeping dirs (e.g. the tiering archive) never pollute ids()."""
+        root = tmp_path / "objects"
+        store = ObjectStore(root)
+        object_id = store.put(b"real blob")
+        (root / "archive").mkdir()
+        (root / "archive" / "pack-0000.bin").write_bytes(b"packed")
+        (root / "zz-not-hex").mkdir()
+        (root / "zz-not-hex" / "file").write_bytes(b"x")
+        assert list(store.ids()) == [object_id]
+
+    def test_sweep_tolerates_clean_store(self, tmp_path):
+        store = ObjectStore(tmp_path / "objects")
+        assert list(store.ids()) == []
+
+
+class TestDelete:
+    def test_delete_removes_object_and_empty_fanout_dir(self, tmp_path):
+        root = tmp_path / "objects"
+        store = ObjectStore(root)
+        object_id = store.put(b"bye")
+        assert store.delete(object_id)
+        assert not store.exists(object_id)
+        assert not (root / object_id[:2]).exists()
+
+    def test_delete_missing_is_false(self, tmp_path):
+        store = ObjectStore(tmp_path / "objects")
+        assert not store.delete(hash_bytes(b"never"))
+        assert not store.delete("not-hex!")

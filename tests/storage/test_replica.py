@@ -1,0 +1,142 @@
+"""ReplicatedDatabase semantics: snapshots, staleness bounds, watermarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.storage.replica import ReplicatedDatabase
+
+INSERT = (
+    "INSERT INTO logs (projid, tstamp, filename, ctx_id, value_name, value, value_type)"
+    " VALUES ('p', 't0', 'f.py', 0, ?, ?, 1)"
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def primary():
+    db = Database(":memory:")
+    yield db
+    db.close()
+
+
+def test_rejects_bad_configuration(primary):
+    with pytest.raises(ValueError):
+        ReplicatedDatabase(primary, replicas=0)
+    with pytest.raises(ValueError):
+        ReplicatedDatabase(primary, max_staleness=-1.0)
+
+
+def test_first_read_ships_a_snapshot(primary):
+    primary.execute(INSERT, ("acc", "0.9"))
+    with ReplicatedDatabase(primary, replicas=1, max_staleness=10.0) as rep:
+        assert rep.query("SELECT value_name FROM logs") == [("acc",)]
+        assert rep.stats.syncs == 1
+
+
+def test_reads_within_staleness_bound_skip_sync(primary):
+    clock = FakeClock()
+    rep = ReplicatedDatabase(primary, replicas=1, max_staleness=5.0, clock=clock)
+    primary.execute(INSERT, ("acc", "1"))
+    assert rep.query("SELECT COUNT(*) FROM logs") == [(1,)]  # initial ship
+    primary.execute(INSERT, ("acc", "2"))
+
+    # Still inside the bound: the replica may serve the stale snapshot.
+    clock.advance(4.0)
+    assert rep.query("SELECT COUNT(*) FROM logs") == [(1,)]
+    assert rep.stats.skipped_syncs == 1
+
+    # Bound exceeded: the next read must re-ship.
+    clock.advance(2.0)
+    assert rep.query("SELECT COUNT(*) FROM logs") == [(2,)]
+    assert rep.stats.syncs == 2
+    rep.close()
+
+
+def test_zero_staleness_is_read_your_writes(primary):
+    rep = ReplicatedDatabase(primary, replicas=2, max_staleness=0)
+    for i in range(5):
+        rep.execute(INSERT, ("step", str(i)))
+        assert rep.query_one("SELECT COUNT(*) FROM logs") == (i + 1,)
+    rep.close()
+
+
+def test_unchanged_primary_never_resyncs(primary):
+    primary.execute(INSERT, ("acc", "1"))
+    rep = ReplicatedDatabase(primary, replicas=1, max_staleness=0)
+    for _ in range(10):
+        rep.query("SELECT COUNT(*) FROM logs")
+    assert rep.stats.syncs == 1
+    rep.close()
+
+
+def test_round_robin_spreads_reads(primary):
+    rep = ReplicatedDatabase(primary, replicas=3, max_staleness=0)
+    seen = []
+    for _ in range(6):
+        with rep.checkout_replica() as replica:
+            seen.append(replica.index)
+    assert seen == [0, 1, 2, 0, 1, 2]
+    rep.close()
+
+
+def test_watermark_tracks_logs_seq(primary):
+    rep = ReplicatedDatabase(primary, replicas=2, max_staleness=0)
+    assert rep.min_watermark() == 0  # nothing shipped yet
+    primary.executemany(INSERT, [("a", "1"), ("b", "2"), ("c", "3")])
+    rep.refresh()
+    assert rep.min_watermark() == 3
+    with rep.checkout_replica() as replica:
+        assert replica.watermark == 3
+    rep.close()
+
+
+def test_on_sync_fires_per_ship_with_replica_index(primary):
+    fired: list[int] = []
+    rep = ReplicatedDatabase(
+        primary, replicas=2, max_staleness=0, on_sync=fired.append
+    )
+    primary.execute(INSERT, ("acc", "1"))
+    rep.refresh()
+    assert sorted(fired) == [0, 1]
+    rep.close()
+
+
+def test_writes_route_to_primary_and_count(primary):
+    rep = ReplicatedDatabase(primary, replicas=1, max_staleness=0)
+    rep.execute(INSERT, ("a", "1"))
+    with rep.transaction() as conn:
+        conn.execute(INSERT, ("b", "2"))
+    rep.executemany(INSERT, [("c", "3")])
+    assert rep.stats.primary_writes == 3
+    assert primary.count("logs") == 3
+    rep.close()
+
+
+def test_transaction_rollback_never_reaches_replicas(primary):
+    rep = ReplicatedDatabase(primary, replicas=1, max_staleness=0)
+    with pytest.raises(RuntimeError):
+        with rep.transaction() as conn:
+            conn.execute(INSERT, ("doomed", "1"))
+            raise RuntimeError("abort")
+    assert rep.query("SELECT COUNT(*) FROM logs") == [(0,)]
+    rep.close()
+
+
+def test_close_leaves_primary_usable(primary):
+    rep = ReplicatedDatabase(primary, replicas=2, max_staleness=0)
+    rep.execute(INSERT, ("a", "1"))
+    rep.close()
+    rep.close()  # idempotent
+    assert primary.count("logs") == 1

@@ -1,0 +1,178 @@
+"""Cold blob tiering: archive packs, the warm LRU cache, epoch selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObjectNotFoundError
+from repro.storage.tiering import TieredBlobStore, select_cold_ids
+from repro.versioning.objects import ObjectStore, hash_bytes
+
+
+@pytest.fixture()
+def tiered(tmp_path):
+    hot = ObjectStore(tmp_path / "objects")
+    return TieredBlobStore(hot, tmp_path / "archive", cache_bytes=1024)
+
+
+class TestArchive:
+    def test_archive_moves_blobs_off_the_hot_path(self, tiered):
+        ids = [tiered.put(f"blob {i}".encode()) for i in range(3)]
+        assert tiered.archive(ids) == 3
+        for i, object_id in enumerate(ids):
+            assert not tiered.hot.exists(object_id)
+            assert tiered.exists(object_id)
+            assert tiered.get(object_id) == f"blob {i}".encode()
+
+    def test_archive_is_idempotent(self, tiered):
+        object_id = tiered.put(b"once")
+        assert tiered.archive([object_id]) == 1
+        assert tiered.archive([object_id]) == 0
+        assert tiered.archive([hash_bytes(b"never stored")]) == 0
+
+    def test_each_pass_appends_a_new_pack(self, tiered, tmp_path):
+        a = tiered.put(b"first pass")
+        tiered.archive([a])
+        b = tiered.put(b"second pass")
+        tiered.archive([b])
+        packs = sorted(p.name for p in (tmp_path / "archive").glob("pack-*.bin"))
+        assert packs == ["pack-0000.bin", "pack-0001.bin"]
+        assert tiered.get(a) == b"first pass"
+        assert tiered.get(b) == b"second pass"
+
+    def test_index_survives_reopen(self, tiered, tmp_path):
+        object_id = tiered.put(b"durable")
+        tiered.archive([object_id])
+        reopened = TieredBlobStore(ObjectStore(tmp_path / "objects"), tmp_path / "archive")
+        assert reopened.get(object_id) == b"durable"
+        assert object_id in set(reopened.ids())
+
+    def test_no_archive_dir_until_first_archive(self, tiered, tmp_path):
+        tiered.put(b"hot only")
+        assert not (tmp_path / "archive").exists()
+
+    def test_put_of_archived_bytes_is_noop(self, tiered):
+        object_id = tiered.put(b"already cold")
+        tiered.archive([object_id])
+        assert tiered.put(b"already cold") == object_id
+        assert not tiered.hot.exists(object_id)  # did not resurrect a hot copy
+
+    def test_verify_detects_intact_archive(self, tiered):
+        ids = [tiered.put(f"v{i}".encode()) for i in range(4)]
+        tiered.archive(ids)
+        assert tiered.verify() == []
+
+    def test_verify_detects_corruption(self, tiered, tmp_path):
+        object_id = tiered.put(b"will corrupt")
+        tiered.archive([object_id])
+        pack = next((tmp_path / "archive").glob("pack-*.bin"))
+        pack.write_bytes(b"X" * len(b"will corrupt"))
+        tiered.cache.clear()
+        assert tiered.verify() == [object_id]
+
+
+class TestWarmCache:
+    def test_repeat_reads_hit_the_cache(self, tiered):
+        object_id = tiered.put(b"cache me")
+        tiered.archive([object_id])
+        tiered.get(object_id)  # cold: seeks into the pack
+        tiered.get(object_id)  # warm
+        tiered.get(object_id)  # warm
+        stats = tiered.stats()
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 1
+
+    def test_lru_evicts_over_budget(self, tmp_path):
+        tiered = TieredBlobStore(
+            ObjectStore(tmp_path / "objects"), tmp_path / "archive", cache_bytes=100
+        )
+        ids = [tiered.put(bytes([i]) * 60) for i in range(3)]
+        tiered.archive(ids)
+        tiered.get(ids[0])
+        tiered.get(ids[1])  # evicts ids[0] (60 + 60 > 100)
+        tiered.get(ids[0])  # miss again
+        assert tiered.stats()["cache_misses"] == 3
+
+    def test_oversized_blob_bypasses_cache(self, tmp_path):
+        tiered = TieredBlobStore(
+            ObjectStore(tmp_path / "objects"), tmp_path / "archive", cache_bytes=10
+        )
+        object_id = tiered.put(b"z" * 100)
+        tiered.archive([object_id])
+        tiered.get(object_id)
+        tiered.get(object_id)
+        assert tiered.stats()["cache_entries"] == 0
+
+
+class TestDeleteAndIds:
+    def test_delete_archived_blob(self, tiered):
+        object_id = tiered.put(b"cold delete")
+        tiered.archive([object_id])
+        assert tiered.delete(object_id)
+        assert not tiered.exists(object_id)
+        with pytest.raises(ObjectNotFoundError):
+            tiered.get(object_id)
+
+    def test_ids_spans_both_tiers_without_duplicates(self, tiered):
+        cold = tiered.put(b"cold")
+        hot = tiered.put(b"hot")
+        tiered.archive([cold])
+        assert sorted(tiered.ids()) == sorted([cold, hot])
+        assert len(tiered) == 2
+
+    def test_index_file_is_valid_json(self, tiered, tmp_path):
+        object_id = tiered.put(b"indexed")
+        tiered.archive([object_id])
+        index = json.loads((tmp_path / "archive" / "index.json").read_text())
+        assert index[object_id]["pack"] == "pack-0000.bin"
+        assert index[object_id]["length"] == len(b"indexed")
+
+
+class TestSelectColdIds:
+    def _commit(self, **files):
+        return {"files": files}
+
+    def test_newest_epochs_stay_hot(self):
+        commits = [
+            self._commit(a="id1"),
+            self._commit(a="id2"),
+            self._commit(a="id3"),
+        ]
+        hot, cold = select_cold_ids(commits, keep_epochs=1)
+        assert hot == {"id3"}
+        assert cold == {"id1", "id2"}
+
+    def test_shared_blobs_never_go_cold(self):
+        commits = [
+            self._commit(a="shared", b="old"),
+            self._commit(a="shared", b="new"),
+        ]
+        hot, cold = select_cold_ids(commits, keep_epochs=1)
+        assert "shared" in hot
+        assert cold == {"old"}
+
+    def test_keep_zero_archives_everything(self):
+        commits = [self._commit(a="id1"), self._commit(a="id2")]
+        hot, cold = select_cold_ids(commits, keep_epochs=0)
+        assert hot == set()
+        assert cold == {"id1", "id2"}
+
+    def test_keep_more_than_history_archives_nothing(self):
+        commits = [self._commit(a="id1")]
+        hot, cold = select_cold_ids(commits, keep_epochs=5)
+        assert hot == {"id1"}
+        assert cold == set()
+
+    def test_accepts_commit_objects(self):
+        class C:
+            def __init__(self, files):
+                self.files = files
+
+        hot, cold = select_cold_ids([C({"a": "x"}), C({"a": "y"})], keep_epochs=1)
+        assert hot == {"y"} and cold == {"x"}
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(ValueError):
+            select_cold_ids([], keep_epochs=-1)

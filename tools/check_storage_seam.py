@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Enforce the storage seam: ``sqlite3`` stays behind the storage layer.
+
+The whole point of the :mod:`repro.storage` protocols is that every layer
+above storage is backend-agnostic — repositories, the query engine, the
+flusher, the service pool and the job store talk to
+:class:`~repro.storage.protocols.RelationalStore`, never to SQLite
+directly.  That property only holds while nobody re-introduces a direct
+``sqlite3`` import, so this lint walks ``src/repro`` and fails when any
+module outside ``repro.storage`` or ``repro.relational`` imports
+``sqlite3`` (via ``import sqlite3``, ``from sqlite3 import ...``, or an
+aliased form).
+
+Detection is AST-based — docstrings and comments that merely *mention*
+sqlite3 are fine; only actual import statements count.
+
+Exit status is the number of violating imports, so CI can run simply::
+
+    python tools/check_storage_seam.py
+
+Run it locally after touching anything under ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages allowed to import sqlite3: the storage layer itself and the
+#: relational package that hosts the reference RelationalStore backend.
+ALLOWED_PREFIXES = ("repro.storage", "repro.relational")
+
+FORBIDDEN_MODULE = "sqlite3"
+
+
+def module_name(src_root: Path, path: Path) -> str:
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def sqlite_imports(path: Path) -> list[int]:
+    """Line numbers of sqlite3 import statements in ``path``."""
+    tree = ast.parse(path.read_text("utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == FORBIDDEN_MODULE:
+                    lines.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module:
+                if node.module.split(".")[0] == FORBIDDEN_MODULE:
+                    lines.append(node.lineno)
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent / "src"
+    violations = 0
+    for path in sorted(src_root.rglob("*.py")):
+        name = module_name(src_root, path)
+        if any(name == p or name.startswith(p + ".") for p in ALLOWED_PREFIXES):
+            continue
+        for lineno in sqlite_imports(path):
+            print(
+                f"{path}:{lineno}: {name} imports sqlite3 directly — "
+                f"go through repro.storage.protocols.RelationalStore instead"
+            )
+            violations += 1
+    if violations == 0:
+        print("storage seam intact: sqlite3 imports confined to", ", ".join(ALLOWED_PREFIXES))
+    return violations
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
