@@ -155,8 +155,17 @@ class HindsightEngine:
             new_source = path.read_text()
         epochs = self.version_epochs(filename)
         if versions is not None:
+            # An explicit version list asks for each *version* once.  A no-op
+            # commit maps a fresh epoch onto its parent's vid, so membership
+            # alone would replay that vid once per epoch — double-writing its
+            # records and breaking the job executor's exactly-once checkpoint
+            # contract.  Keep the oldest epoch per requested vid.
             wanted = set(versions)
-            epochs = [(vid, ts) for vid, ts in epochs if vid in wanted]
+            first_epoch: dict[str, str] = {}
+            for vid, ts in epochs:
+                if vid in wanted and vid not in first_epoch:
+                    first_epoch[vid] = ts
+            epochs = [(vid, ts) for vid, ts in epochs if first_epoch.get(vid) == ts]
         if not include_latest and epochs:
             epochs = epochs[:-1]
         report = BackfillReport(filename=filename)

@@ -94,6 +94,18 @@ def execute_job(
     with open_session(job.project) as session:
         engine = HindsightEngine(session)
         epochs = engine.version_epochs(filename)
+        # One epoch per commit, but not one *version* per commit: a no-op
+        # commit (content unchanged) maps a fresh epoch to its parent's
+        # vid.  Replay per distinct vid — per-epoch replay would run the
+        # same version repeatedly and break the checkpoint protocol's
+        # exactly-once guarantee (each vid earns exactly one ``version``
+        # event, which resumed jobs rely on to skip completed work).
+        seen_vids: set[str] = set()
+        epochs = [
+            (vid, ts)
+            for vid, ts in epochs
+            if not (vid in seen_vids or seen_vids.add(vid))
+        ]
         if payload.get("versions"):
             wanted = {str(v) for v in payload["versions"]}
             epochs = [(vid, ts) for vid, ts in epochs if vid in wanted]

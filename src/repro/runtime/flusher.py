@@ -70,6 +70,8 @@ class FlushStats:
     max_coalesced_batches: int = 0
     backpressure_waits: int = 0
     write_retries: int = 0
+    dropped_batches: int = 0
+    dropped_rows: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -80,6 +82,8 @@ class FlushStats:
             "max_coalesced_batches": self.max_coalesced_batches,
             "backpressure_waits": self.backpressure_waits,
             "write_retries": self.write_retries,
+            "dropped_batches": self.dropped_batches,
+            "dropped_rows": self.dropped_rows,
         }
 
 
@@ -254,6 +258,17 @@ class BackgroundFlusher:
                             with self._cond:
                                 if self._error is None:
                                     self._error = exc
+                                # Monotone drop counters, bumped before the
+                                # rows are released below: the deferred error
+                                # is consumed by whichever drain surfaces it
+                                # first, but any observer (the service's
+                                # /stats endpoint, the chaos harness's seal
+                                # protocol) can still tell that acknowledged
+                                # rows were lost on this handle.
+                                self.stats.dropped_batches += len(batches)
+                                self.stats.dropped_rows += sum(
+                                    batch[3] for batch in batches
+                                )
                             break
                         self.stats.write_retries += 1
                         time.sleep(self.retry_backoff)

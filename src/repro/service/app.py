@@ -94,6 +94,11 @@ class FlorService:
         ``?primary=1`` to bypass the replicas for one request.
     replica_staleness:
         Seconds a replica may lag before a read re-ships a snapshot.
+    shard_factory:
+        ``(name) -> ProjectShard`` hook forwarded to the pool, replacing
+        default shard construction entirely — the chaos harness uses it to
+        build shards over fault-wrapped stores
+        (:func:`repro.testing.soak.chaos_shard_factory`).
     """
 
     def __init__(
@@ -107,6 +112,7 @@ class FlorService:
         backend: str = "sqlite",
         replicas: int = 0,
         replica_staleness: float = 0.25,
+        shard_factory=None,
         job_store: JobStore | None = None,
     ):
         self.root = Path(root)
@@ -123,6 +129,7 @@ class FlorService:
             backend=backend,
             replicas=replicas,
             replica_staleness=replica_staleness,
+            shard_factory=shard_factory,
         )
         self._job_store = job_store
         self._owns_job_store = job_store is None
@@ -524,8 +531,23 @@ def create_app(service: FlorService) -> WebApp:
                 {
                     "project": shard.session.projid,
                     "tables": tables,
+                    # Durability introspection: dropped_rows_total is the
+                    # tenant's monotone (per service process) count of
+                    # acknowledged rows its writers shed; a client that sees
+                    # it unchanged across a primary read knows no acked row
+                    # was dropped in between (the chaos harness's seal
+                    # protocol; see docs/testing.md).  The incarnation
+                    # identifies the live shard handle, whose own flusher
+                    # counters reset on reopen.
+                    "incarnation": shard.incarnation,
+                    "dropped_rows_total": pool.dropped_rows_total(name),
                     "pending": shard.queue.pending if shard.queue else 0,
                     "ingest": shard.queue.stats.as_dict() if shard.queue else {},
+                    "flusher": (
+                        shard.session.flusher.stats.as_dict()
+                        if shard.session.flusher is not None
+                        else {}
+                    ),
                     "query_cache": shard.session.query.stats.as_dict(),
                     "replicas": (
                         shard.replicas.replicated.stats.as_dict()

@@ -28,6 +28,7 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
+from itertools import count
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -114,6 +115,13 @@ class ShardReplicas:
         self.replicated.close()
 
 
+#: Process-wide shard incarnation numbers.  Flush statistics (including the
+#: dropped-row counters durability clients watch) reset when a shard is
+#: evicted and reopened; the incarnation lets an observer distinguish "no
+#: drops" from "fresh handle, history unknown".
+_incarnations = count(1)
+
+
 class ProjectShard:
     """One open tenant: a session, its ingestion queue and a lock."""
 
@@ -128,6 +136,7 @@ class ProjectShard:
         self.session = session
         self.queue = queue
         self.replicas = replicas
+        self.incarnation = next(_incarnations)
         self.lock = threading.RLock()
         self.closed = False
 
@@ -222,6 +231,17 @@ class DatabasePool:
         self._factory = shard_factory or self._default_factory
         self._shards: "OrderedDict[str, ProjectShard]" = OrderedDict()
         self._building: dict[str, threading.Event] = {}
+        # Names whose evicted shard is still closing.  A lookup blocks on
+        # this the same way it blocks on _building: were the name rebuilt
+        # while the old incarnation's close was in flight, a failed close
+        # could no longer reinstate the shard — orphaning its queued,
+        # already-acknowledged records.
+        self._closing: dict[str, threading.Event] = {}
+        # Dropped-row counts banked from closed incarnations, per tenant.
+        # A shard's flusher counters die with it; summing the bank with the
+        # live counter gives each tenant a drop total that is monotone for
+        # the pool's lifetime (served by the /stats endpoint).
+        self._dropped_banked: dict[str, int] = {}
         self._lock = threading.RLock()
         self._ever_opened: set[str] = set()
         self.stats = PoolStats()
@@ -282,7 +302,7 @@ class DatabasePool:
                     self._shards.move_to_end(name)
                     self.stats.hits += 1
                     return shard
-                pending = self._building.get(name)
+                pending = self._building.get(name) or self._closing.get(name)
                 if pending is None:
                     opening = threading.Event()
                     self._building[name] = opening
@@ -291,8 +311,9 @@ class DatabasePool:
                         self.stats.reopens += 1
                     self._ever_opened.add(name)
                     break
-            # Another thread is opening this shard; wait and re-check rather
-            # than opening a duplicate handle on the same database file.
+            # Another thread is opening (or closing) this shard; wait and
+            # re-check rather than racing a duplicate handle on the same
+            # database file.
             pending.wait()
         # Construct outside the pool lock: opening a shard touches the disk
         # (directory layout, SQLite schema) and must not block lookups of
@@ -309,8 +330,9 @@ class DatabasePool:
             self._shards[name] = shard
             self._building.pop(name, None)
             while len(self._shards) > self.capacity:
-                _, cold = self._shards.popitem(last=False)
+                cold_name, cold = self._shards.popitem(last=False)
                 self.stats.evictions += 1
+                self._closing[cold_name] = threading.Event()
                 evicted.append(cold)
         opening.set()
         for cold in evicted:
@@ -323,20 +345,53 @@ class DatabasePool:
         If the close fails (the flush raised), the shard still holds its
         queued records, so it is reinstated into the cache rather than
         orphaned — acknowledged appends stay reachable and the flush is
-        retried on the next eviction or :meth:`close`.  Reinstating is only
-        impossible when the same name was concurrently reopened; then the
-        failure propagates, because silently dropping records is worse.
+        retried on the next eviction or :meth:`close`.  The ``_closing``
+        reservation taken when the shard was popped guarantees the name was
+        not concurrently rebuilt, so reinstating always succeeds.  On a
+        successful close the incarnation's dropped-row count is banked so
+        the tenant's drop total stays monotone across reopens.
         """
         try:
             shard.close()
         except Exception:
             with self._lock:
-                if shard.name not in self._shards and not shard.closed:
-                    self._shards[shard.name] = shard
-                    self._shards.move_to_end(shard.name, last=False)
-                    self.stats.evictions -= 1
-                    return
-            raise
+                self._shards[shard.name] = shard
+                self._shards.move_to_end(shard.name, last=False)
+                self.stats.evictions -= 1
+                event = self._closing.pop(shard.name, None)
+            if event is not None:
+                event.set()
+            return
+        with self._lock:
+            self._bank_dropped_locked(shard)
+            event = self._closing.pop(shard.name, None)
+        if event is not None:
+            event.set()
+
+    def _bank_dropped_locked(self, shard: ProjectShard) -> None:
+        flusher = getattr(shard.session, "flusher", None)
+        if flusher is not None and flusher.stats.dropped_rows:
+            self._dropped_banked[shard.name] = (
+                self._dropped_banked.get(shard.name, 0) + flusher.stats.dropped_rows
+            )
+
+    def dropped_rows_total(self, name: str) -> int:
+        """Rows dropped by this tenant's writers over the pool's lifetime.
+
+        Monotone while the pool lives: banked counts from closed
+        incarnations plus the live shard's counter.  Durability clients
+        compare this across a read barrier — unchanged means no
+        acknowledged row was shed between the two looks (the chaos
+        harness's seal protocol; see ``repro.testing``).
+        """
+        with self._lock:
+            total = self._dropped_banked.get(name, 0)
+            shard = self._shards.get(name)
+        if shard is not None:
+            flusher = getattr(shard.session, "flusher", None)
+            if flusher is not None:
+                total += flusher.stats.dropped_rows
+        return total
 
     @contextmanager
     def checkout(self, name: str) -> Iterator[ProjectShard]:
@@ -373,9 +428,28 @@ class DatabasePool:
             shard = self._shards.pop(name, None)
             if shard is not None:
                 self.stats.evictions += 1
+                self._closing[name] = threading.Event()
         if shard is None:
             return False
-        shard.close()
+        try:
+            shard.close()
+        except BaseException:
+            # Same contract as LRU eviction: a failed close reinstates the
+            # shard (records stay reachable) — but here the failure also
+            # propagates, since the caller asked for this specific close.
+            with self._lock:
+                self._shards[shard.name] = shard
+                self._shards.move_to_end(shard.name, last=False)
+                self.stats.evictions -= 1
+                event = self._closing.pop(name, None)
+            if event is not None:
+                event.set()
+            raise
+        with self._lock:
+            self._bank_dropped_locked(shard)
+            event = self._closing.pop(name, None)
+        if event is not None:
+            event.set()
         return True
 
     def flush_all(self) -> int:

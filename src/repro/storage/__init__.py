@@ -13,6 +13,8 @@ from .protocols import BlobStore, RelationalStore
 __all__ = [
     "BlobStore",
     "RelationalStore",
+    "FaultyBlobStore",
+    "FaultyRelationalStore",
     "MemoryBlobStore",
     "MemoryRelationalStore",
     "ReplicatedDatabase",
@@ -23,6 +25,8 @@ __all__ = [
 ]
 
 _LAZY = {
+    "FaultyBlobStore": ".faults",
+    "FaultyRelationalStore": ".faults",
     "MemoryBlobStore": ".memory",
     "MemoryRelationalStore": ".memory",
     "ReplicatedDatabase": ".replica",

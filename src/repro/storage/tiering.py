@@ -237,7 +237,13 @@ class TieredBlobStore:
 
     def get(self, object_id: str) -> bytes:
         if self.hot.exists(object_id):
-            return self.hot.get(object_id)
+            try:
+                return self.hot.get(object_id)
+            except ObjectNotFoundError:
+                # A concurrent archive pass deleted the hot copy between the
+                # exists check and the read.  The index is durably replaced
+                # before hot copies are dropped, so the archive has it.
+                pass
         return self._read_archived(object_id)
 
     def get_text(self, object_id: str) -> str:

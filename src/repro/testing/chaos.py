@@ -1,0 +1,275 @@
+"""Seeded fault planning: the deterministic core of the chaos harness.
+
+A :class:`FaultPlan` is the single source of nondeterminism for one chaos
+run.  Every injection site (a wrapped store method, a skewed clock, a kill
+barrier) asks the plan whether to fire, and the plan answers from a
+dedicated pseudo-random stream derived from ``(seed, kind, site)``.  Two
+properties follow:
+
+* **Replayability** — the whole fault schedule is a pure function of the
+  seed.  A failing run prints its seed (see :func:`seeds_since`); re-running
+  with ``REPRO_CHAOS_SEED=<seed>`` reproduces every per-site decision.
+* **Interleaving tolerance** — each site draws from its *own* stream, so
+  thread scheduling changes which faults interleave but never which faults
+  each site sees.  The schedule stays meaningful under the very concurrency
+  it is stressing.
+
+The plan does not know how a fault manifests; the wrappers in
+:mod:`repro.storage.faults` translate ``locked`` decisions into
+``sqlite3.OperationalError("database is locked")`` and ``slow`` decisions
+into sleeps, :class:`SkewedClock` translates ``skew`` decisions into clock
+drift, and :class:`repro.testing.procs.ServerProcess` handles ``kill``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: Environment variable consulted when a FaultPlan is built without an
+#: explicit seed — export it to replay the schedule a failing test printed.
+SEED_ENV_VAR = "REPRO_CHAOS_SEED"
+
+#: Fault kinds a plan can schedule.
+KINDS = ("locked", "slow", "skew", "kill")
+
+# Recent plan descriptions, appended at construction time.  The pytest
+# hook in tests/chaos/conftest.py snapshots this list before each test and
+# prints everything added since when the test fails, so a red chaos test
+# always carries the seed needed to replay it.
+_RECENT: list[str] = []
+_RECENT_LOCK = threading.Lock()
+_RECENT_CAP = 64
+_RECENT_TOTAL = 0  # plans ever remembered; marks index this, not the list
+
+
+def recent_mark() -> int:
+    """Opaque token for :func:`seeds_since` (call before the test body)."""
+    with _RECENT_LOCK:
+        return _RECENT_TOTAL
+
+
+def seeds_since(mark: int) -> list[str]:
+    """Descriptions of every plan created since ``mark``.
+
+    Marks count plans ever created, so they stay valid when the registry's
+    cap trims old entries — at most the oldest descriptions are missing.
+    """
+    with _RECENT_LOCK:
+        trimmed = _RECENT_TOTAL - len(_RECENT)
+        return list(_RECENT[max(mark - trimmed, 0):])
+
+
+def _remember(description: str) -> None:
+    global _RECENT_TOTAL
+    with _RECENT_LOCK:
+        _RECENT.append(description)
+        _RECENT_TOTAL += 1
+        if len(_RECENT) > _RECENT_CAP:
+            del _RECENT[: len(_RECENT) - _RECENT_CAP]
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of fault decisions.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed; when omitted, ``$REPRO_CHAOS_SEED`` is honoured (the
+        replay path) before falling back to a fresh random seed.  The seed
+        is always exposed as :attr:`seed` and in :meth:`describe`.
+    locked_rate / slow_rate / skew_rate / kill_rate:
+        Per-decision probabilities in ``[0, 1]`` for each fault kind.
+    slow_seconds:
+        Upper bound of one injected I/O stall (each stall draws uniformly
+        from ``[slow_seconds/2, slow_seconds]``).
+    max_skew_seconds:
+        Magnitude bound of injected clock drift; each skewed reading drifts
+        uniformly in ``[-max_skew_seconds, +max_skew_seconds]``.
+    sleep:
+        The sleep callable used for stalls (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        *,
+        locked_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        skew_rate: float = 0.0,
+        kill_rate: float = 0.0,
+        slow_seconds: float = 0.002,
+        max_skew_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if seed is None:
+            env = os.environ.get(SEED_ENV_VAR)
+            seed = int(env) if env else random.Random().randrange(1, 2**32)
+        self.seed = int(seed)
+        self.rates = {
+            "locked": float(locked_rate),
+            "slow": float(slow_rate),
+            "skew": float(skew_rate),
+            "kill": float(kill_rate),
+        }
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+        self.slow_seconds = float(slow_seconds)
+        self.max_skew_seconds = float(max_skew_seconds)
+        self._sleep = sleep
+        self._streams: dict[tuple[str, str], random.Random] = {}
+        self._forced: dict[tuple[str, str], int] = {}
+        self._lock = threading.Lock()
+        self._enabled = True
+        self.checked: dict[str, int] = {kind: 0 for kind in KINDS}
+        self.fired: dict[str, int] = {kind: 0 for kind in KINDS}
+        _remember(self.describe())
+
+    # ------------------------------------------------------------- decisions
+    def _stream(self, kind: str, site: str) -> random.Random:
+        key = (kind, site)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = random.Random(f"{self.seed}/{kind}/{site}")
+            self._streams[key] = stream
+        return stream
+
+    def decide(self, kind: str, site: str) -> bool:
+        """Whether fault ``kind`` fires at ``site`` this time.
+
+        Each call consumes one draw from the ``(kind, site)`` stream, so
+        the n-th decision at a site is a pure function of the seed even
+        when other sites race it from other threads.
+        """
+        if kind not in self.rates:
+            raise ValueError(f"unknown fault kind: {kind!r}")
+        with self._lock:
+            self.checked[kind] += 1
+            forced = self._forced.get((kind, site), 0)
+            if forced > 0:
+                self._forced[(kind, site)] = forced - 1
+                self.fired[kind] += 1
+                return True
+            draw = self._stream(kind, site).random()
+            hit = self._enabled and draw < self.rates[kind]
+            if hit:
+                self.fired[kind] += 1
+            return hit
+
+    def force(self, kind: str, site: str, times: int = 1) -> None:
+        """Queue ``times`` guaranteed hits at ``site`` (unit-test scripting).
+
+        Forced hits fire even while :meth:`suspended`, and are consumed
+        before the seeded stream is consulted.
+        """
+        if kind not in self.rates:
+            raise ValueError(f"unknown fault kind: {kind!r}")
+        with self._lock:
+            self._forced[(kind, site)] = self._forced.get((kind, site), 0) + times
+
+    def maybe_sleep(self, site: str) -> bool:
+        """Inject one slow-I/O stall at ``site`` if the plan says so."""
+        if not self.decide("slow", site):
+            return False
+        with self._lock:
+            fraction = self._stream("slow.duration", site).random()
+        self._sleep(self.slow_seconds * (0.5 + 0.5 * fraction))
+        return True
+
+    def skew_amount(self, site: str) -> float:
+        """Signed clock drift for one skewed reading at ``site``."""
+        with self._lock:
+            fraction = self._stream("skew.amount", site).random()
+        return (2.0 * fraction - 1.0) * self.max_skew_seconds
+
+    # ------------------------------------------------------------- lifecycle
+    @contextmanager
+    def suspended(self) -> Iterator["FaultPlan"]:
+        """Disable seeded faults for a block (setup / verification phases).
+
+        Decisions still consume their stream draws, so the schedule after
+        the block is identical whether or not the block injected anything —
+        suspension changes *outcomes*, not *position*.
+        """
+        with self._lock:
+            previous = self._enabled
+            self._enabled = False
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._enabled = previous
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {"checked": dict(self.checked), "fired": dict(self.fired)}
+
+    def describe(self) -> str:
+        """One line identifying this plan; always includes the replay seed."""
+        rates = ", ".join(
+            f"{kind}={self.rates[kind]:g}" for kind in KINDS if self.rates[kind] > 0
+        )
+        return (
+            f"FaultPlan(seed={self.seed}{', ' + rates if rates else ''})"
+            f" — replay with {SEED_ENV_VAR}={self.seed}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return self.describe()
+
+
+class ManualClock:
+    """A unix-time source that only moves when told to.
+
+    Drop-in for the ``clock`` parameter of :class:`repro.jobs.JobStore` so
+    lease-expiry tests advance time explicitly instead of sleeping past a
+    real deadline (the satellite de-flake of the jobs suite).
+    """
+
+    def __init__(self, start: float = 1000.0):
+        self.now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self.now
+
+    def advance(self, seconds: float) -> None:
+        with self._lock:
+            self.now += seconds
+
+
+class SkewedClock:
+    """A real-time clock with seeded drift injected by a :class:`FaultPlan`.
+
+    Models the drifting wall clock a lease-based scheduler actually runs
+    on: most readings are honest, but a ``skew`` decision shifts one
+    reading by up to ``plan.max_skew_seconds`` in either direction.  Lease
+    logic must stay correct (CAS-protected, at-least-once) under it.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        site: str = "clock",
+        base: Callable[[], float] = time.time,
+    ):
+        self.plan = plan
+        self.site = site
+        self.base = base
+
+    def __call__(self) -> float:
+        now = self.base()
+        if self.plan.decide("skew", self.site):
+            return now + self.plan.skew_amount(self.site)
+        return now

@@ -17,9 +17,12 @@ from .generator import (
     WideDagWorkload,
     populate_logs,
 )
+from .scenarios import AgentSessionWorkload, MultiProjectFanoutWorkload
 
 __all__ = [
+    "AgentSessionWorkload",
     "LoggingWorkload",
+    "MultiProjectFanoutWorkload",
     "TrainingWorkload",
     "VersionedScriptWorkload",
     "PipelineWorkload",

@@ -1,0 +1,199 @@
+"""Scenario zoo: workloads beyond ML training loops.
+
+The generators in :mod:`repro.workloads.generator` model the paper's
+evaluation surface — training loops, versioned scripts, build DAGs.  The
+durability story, though, must hold for whatever users actually log, so the
+chaos harness drives two additional shapes through the same dataclass API:
+
+* :class:`AgentSessionWorkload` — agent-session traces: conversation turns
+  carrying tool-call records (name, latency, status), token counts and
+  per-turn eval scores.  Structurally this is deep, ragged nesting with
+  string-heavy values — the opposite of a rectangular metrics loop.
+* :class:`MultiProjectFanoutWorkload` — one driver fanning a batch stream
+  across many tenant projects round-robin, stressing the pool's LRU churn
+  and per-shard writers rather than any single database.
+
+Both expose two drive modes matching the rest of the suite: ``populate``
+writes through an in-process :class:`~repro.core.session.Session`, and
+``request_payloads`` yields ``POST /projects/<name>/logs`` bodies for the
+service layer.  Every logged value embeds the workload ``tag`` and its
+coordinates, so a chaos ledger can check set-membership of acknowledged
+rows after recovery without coordinating with the generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..core.session import Session
+from ..relational.records import LogRecord, LoopRecord
+
+#: Tool names sampled for agent tool-call records.
+AGENT_TOOLS = ("search", "read_file", "edit", "run_tests", "browse", "shell")
+
+
+@dataclass
+class AgentSessionWorkload:
+    """Agent-session traces: turns, tool calls, evals — not a training loop.
+
+    One *session* is a ``turn`` loop; each turn logs its prompt/completion
+    token counts, ``tool_calls_per_turn`` tool-call records (tool name,
+    latency, ok/error status) and an ``eval_score``.  ``tag`` namespaces
+    every value so concurrent workload instances stay distinguishable in
+    one ``logs`` table.
+    """
+
+    sessions: int = 3
+    turns_per_session: int = 4
+    tool_calls_per_turn: int = 2
+    seed: int = 7
+    tag: str = "agent"
+    filename: str = "agent.py"
+
+    #: Log rows emitted per turn: tokens_in, tokens_out, eval_score, plus
+    #: (tool, tool_latency, tool_status) per tool call.
+    @property
+    def records_per_turn(self) -> int:
+        return 3 + 3 * self.tool_calls_per_turn
+
+    @property
+    def total_records(self) -> int:
+        return self.sessions * self.turns_per_session * self.records_per_turn
+
+    def _turn_values(self, rng: random.Random, s: int, t: int) -> list[tuple[str, Any]]:
+        coord = f"{self.tag}.s{s}.t{t}"
+        values: list[tuple[str, Any]] = [
+            ("tokens_in", f"{coord}:in:{rng.randrange(200, 4000)}"),
+            ("tokens_out", f"{coord}:out:{rng.randrange(50, 1500)}"),
+        ]
+        for call in range(self.tool_calls_per_turn):
+            tool = rng.choice(AGENT_TOOLS)
+            values.append(("tool", f"{coord}.c{call}:{tool}"))
+            values.append(
+                ("tool_latency", f"{coord}.c{call}:{rng.uniform(0.01, 2.0):.4f}")
+            )
+            values.append(
+                ("tool_status", f"{coord}.c{call}:{'ok' if rng.random() > 0.1 else 'error'}")
+            )
+        values.append(("eval_score", f"{coord}:score:{rng.uniform(0.0, 1.0):.3f}"))
+        return values
+
+    def populate(self, session: Session) -> int:
+        """Write every session trace through an in-process Session."""
+        rng = random.Random(self.seed)
+        written = 0
+        for s in range(self.sessions):
+            tstamp = f"2026-02-{s + 1:02d}T00:00:00.{s:06d}"
+            loops: list[LoopRecord] = []
+            logs: list[LogRecord] = []
+            for t in range(self.turns_per_session):
+                ctx_id = t + 1
+                loops.append(
+                    LoopRecord(
+                        projid=session.projid,
+                        tstamp=tstamp,
+                        filename=self.filename,
+                        ctx_id=ctx_id,
+                        parent_ctx_id=0,
+                        loop_name="turn",
+                        loop_iteration=t,
+                        iteration_value=str(t),
+                    )
+                )
+                for name, value in self._turn_values(rng, s, t):
+                    logs.append(
+                        LogRecord.create(
+                            projid=session.projid,
+                            tstamp=tstamp,
+                            filename=self.filename,
+                            ctx_id=ctx_id,
+                            value_name=name,
+                            value=value,
+                        )
+                    )
+                    written += 1
+            session.loops.add_many(loops)
+            session.logs.add_many(logs)
+        return written
+
+    def request_payloads(self) -> Iterator[dict[str, Any]]:
+        """``POST /projects/<name>/logs`` bodies, one per session turn."""
+        rng = random.Random(self.seed)
+        for s in range(self.sessions):
+            for t in range(self.turns_per_session):
+                yield {
+                    "filename": self.filename,
+                    "records": [
+                        {"name": name, "value": value, "ctx_id": t + 1}
+                        for name, value in self._turn_values(rng, s, t)
+                    ],
+                }
+
+
+@dataclass
+class MultiProjectFanoutWorkload:
+    """One driver spraying batches across ``tenants`` projects round-robin.
+
+    Each batch carries ``records_per_batch`` values of one metric name; the
+    value embeds ``(tag, tenant, batch, record)`` so per-tenant recovery
+    checks need no shared state.  ``populate`` writes each tenant through
+    its own Session; ``request_payloads`` yields ``(project, payload)``
+    pairs for the HTTP surface.
+    """
+
+    tenants: int = 4
+    batches_per_tenant: int = 5
+    records_per_batch: int = 8
+    tag: str = "fanout"
+    value_name: str = "metric"
+    filename: str = "driver.py"
+
+    def project_names(self) -> list[str]:
+        return [f"{self.tag}_{i:02d}" for i in range(self.tenants)]
+
+    @property
+    def total_records(self) -> int:
+        return self.tenants * self.batches_per_tenant * self.records_per_batch
+
+    def _batch_values(self, tenant: int, batch: int) -> list[str]:
+        return [
+            f"{self.tag}.p{tenant}.b{batch}.r{r}"
+            for r in range(self.records_per_batch)
+        ]
+
+    def populate(self, make_session) -> int:
+        """Write every tenant via ``make_session(project_name) -> Session``."""
+        written = 0
+        for tenant, name in enumerate(self.project_names()):
+            session = make_session(name)
+            tstamp = f"2026-03-01T00:00:00.{tenant:06d}"
+            logs = [
+                LogRecord.create(
+                    projid=session.projid,
+                    tstamp=tstamp,
+                    filename=self.filename,
+                    ctx_id=batch + 1,
+                    value_name=self.value_name,
+                    value=value,
+                )
+                for batch in range(self.batches_per_tenant)
+                for value in self._batch_values(tenant, batch)
+            ]
+            session.logs.add_many(logs)
+            written += len(logs)
+        return written
+
+    def request_payloads(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """``(project, body)`` pairs, interleaved round-robin over tenants."""
+        names = self.project_names()
+        for batch in range(self.batches_per_tenant):
+            for tenant, project in enumerate(names):
+                yield project, {
+                    "filename": self.filename,
+                    "records": [
+                        {"name": self.value_name, "value": value, "ctx_id": batch + 1}
+                        for value in self._batch_values(tenant, batch)
+                    ],
+                }

@@ -1,0 +1,28 @@
+"""Chaos-suite plumbing: every failing test prints its replay seed(s).
+
+The fixtures here snapshot :mod:`repro.testing.chaos`'s recent-plan registry
+before each test and, when the test fails, attach a ``chaos seeds`` report
+section listing every :class:`~repro.testing.FaultPlan` built during the
+test — each line ends with the ``REPRO_CHAOS_SEED=<seed>`` incantation that
+replays the exact fault schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import recent_mark, seeds_since
+
+
+def pytest_runtest_setup(item):
+    item._chaos_seed_mark = recent_mark()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seeds = seeds_since(getattr(item, "_chaos_seed_mark", 0))
+        if seeds:
+            report.sections.append(("chaos seeds", "\n".join(seeds)))

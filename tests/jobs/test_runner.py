@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro import ProjectConfig, Session
@@ -15,6 +13,7 @@ from repro.jobs import (
     directory_session_provider,
     execute_job,
 )
+from repro.testing import ManualClock
 from repro.workloads import BackfillJobWorkload
 
 WORKLOAD = BackfillJobWorkload(projects=1, versions=3, epochs=3, steps=2)
@@ -139,7 +138,8 @@ class TestRunner:
         re-replays only versions without a recorded progress checkpoint."""
         root, vids = populated_root
         crash_after = 1
-        store = JobStore.open(root, lease_seconds=0.05)
+        clock = ManualClock()
+        store = JobStore.open(root, lease_seconds=30.0, clock=clock)
         try:
             job_id = WORKLOAD.submit_all(store)[0]
             claimed = store.claim("doomed")
@@ -157,7 +157,7 @@ class TestRunner:
             # The worker "dies" here: no release, no fail — the lease just
             # stops being renewed, and the first checkpoint is durable.
             assert store.completed_versions(job_id) == {vids[0]}
-            time.sleep(0.1)  # lease lapses
+            clock.advance(31.0)  # lease lapses without any real waiting
 
             runner = JobRunner(
                 store, _open_sessions(root), workers=1, lease_seconds=10.0, poll_interval=0.01

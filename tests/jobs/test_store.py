@@ -8,24 +8,12 @@ from repro.errors import JobError, JobNotFoundError
 from repro.jobs import JobStore
 from repro.jobs.store import JOBS_DB_FILENAME
 from repro.relational.database import Database
-
-
-class FakeClock:
-    """A controllable unix-time source so lease expiry is deterministic."""
-
-    def __init__(self, start: float = 1000.0):
-        self.now = start
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        self.now += seconds
+from repro.testing import ManualClock
 
 
 @pytest.fixture()
 def clock():
-    return FakeClock()
+    return ManualClock()
 
 
 @pytest.fixture()

@@ -255,6 +255,24 @@ class TestIntrospection:
         assert body["tables"]["logs"] == 0  # still queued
         assert body["ingest"]["appended"] == 1
 
+    def test_project_stats_exposes_the_durability_fields(self, client, service):
+        """The seal-protocol surface: a monotone drop total plus the live
+        shard's incarnation and flusher counters (see docs/testing.md)."""
+        _append(client, "alpha", [0.5])
+        body = client.get("/projects/alpha/stats").json()
+        assert body["dropped_rows_total"] == 0
+        assert body["incarnation"] >= 1
+        assert body["flusher"]["dropped_rows"] == 0
+        # The total must survive an eviction cycle, not reset with the
+        # shard's own counters: simulate a shed batch, evict, reopen.
+        service.pool.get("alpha").session.flusher.stats.dropped_rows = 2
+        assert service.pool.evict("alpha")
+        _append(client, "alpha", [0.6])
+        after = client.get("/projects/alpha/stats").json()
+        assert after["dropped_rows_total"] == 2
+        assert after["flusher"]["dropped_rows"] == 0  # fresh incarnation
+        assert after["incarnation"] > body["incarnation"]
+
 
 class TestConcurrency:
     def test_eight_threads_append_without_loss(self, tmp_path):

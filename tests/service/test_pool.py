@@ -193,3 +193,73 @@ class TestCheckout:
         alpha.queue.append(logs=[_log(alpha, 0)])
         beta.queue.append(logs=[_log(beta, 0), _log(beta, 1)])
         assert pool.flush_all() == 3
+
+
+class TestDurabilityCounters:
+    """The drop-total and closing-registry machinery behind the seal protocol."""
+
+    def test_dropped_rows_total_is_monotone_across_reopens(self, tmp_path):
+        pool = DatabasePool(tmp_path / "p", capacity=2, flush_mode="async")
+        try:
+            first = pool.get("alpha")
+            assert pool.dropped_rows_total("alpha") == 0
+            first.session.flusher.stats.dropped_rows = 3
+            assert pool.dropped_rows_total("alpha") == 3
+            assert pool.evict("alpha")  # banks the incarnation's count
+            assert pool.dropped_rows_total("alpha") == 3
+            second = pool.get("alpha")
+            assert second.incarnation > first.incarnation
+            assert second.session.flusher.stats.dropped_rows == 0
+            assert pool.dropped_rows_total("alpha") == 3  # bank + fresh live
+            second.session.flusher.stats.dropped_rows = 2
+            assert pool.dropped_rows_total("alpha") == 5
+        finally:
+            pool.close()
+
+    def test_lru_eviction_banks_drops_too(self, tmp_path):
+        pool = DatabasePool(tmp_path / "p", capacity=1, flush_mode="async")
+        try:
+            pool.get("alpha").session.flusher.stats.dropped_rows = 4
+            pool.get("beta")  # capacity 1: alpha evicted via the LRU path
+            assert "alpha" not in pool
+            assert pool.dropped_rows_total("alpha") == 4
+        finally:
+            pool.close()
+
+    def test_lookup_waits_out_an_inflight_close_so_reinstating_wins(
+        self, pool, monkeypatch
+    ):
+        """A lookup racing a failing close must get the reinstated shard
+        back — not rebuild the name and orphan the old handle's records."""
+        alpha = pool.get("alpha")
+        entered = threading.Event()
+        gate = threading.Event()
+
+        def slow_failing_close():
+            entered.set()
+            gate.wait(5.0)
+            raise RuntimeError("flush died mid-close")
+
+        monkeypatch.setattr(alpha, "close", slow_failing_close)
+        evict_failed = []
+
+        def evict():
+            try:
+                pool.evict("alpha")
+            except RuntimeError:
+                evict_failed.append(True)
+
+        closer = threading.Thread(target=evict)
+        closer.start()
+        assert entered.wait(5.0)
+        got = []
+        looker = threading.Thread(target=lambda: got.append(pool.get("alpha")))
+        looker.start()
+        looker.join(timeout=0.2)
+        assert not got  # parked on the closing reservation, not rebuilding
+        gate.set()
+        closer.join(timeout=5.0)
+        looker.join(timeout=5.0)
+        assert evict_failed  # the explicit evict propagated its failure
+        assert got == [alpha]  # same handle, reinstated
+        assert not alpha.closed
