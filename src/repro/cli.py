@@ -27,7 +27,10 @@ the Python API and the HTTP service use.
 ``serve``      multi-tenant HTTP service over the projects under a root
                directory (sharded pool + batched ingestion; see
                :mod:`repro.service`); ``--job-workers N`` embeds N durable
-               job workers, and SIGTERM/SIGINT drain them gracefully
+               job workers, and SIGTERM/SIGINT drain them gracefully;
+               ``--workers N`` runs a multi-process worker fleet instead —
+               a consistent-hash shard router in front of N supervised
+               worker processes (see :mod:`repro.fleet`)
 ``jobs``       durable background jobs over the same root:
                ``submit | status | watch | list | cancel | retry | run``
                (see :mod:`repro.jobs`)
@@ -272,12 +275,79 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """Supervisor mode: N worker processes behind a consistent-hash router."""
+    import threading
+
+    from .fleet.run import serve_fleet
+
+    if args.backend != "sqlite":
+        print(
+            "error: --workers requires the sqlite backend "
+            "(fleet workers share shard state through the filesystem)",
+            file=sys.stderr,
+        )
+        return 2
+    worker_args = [
+        "--pool-capacity",
+        str(args.pool_capacity),
+        "--flush-size",
+        str(args.flush_size),
+        "--flush-interval",
+        str(args.flush_interval),
+        "--backend",
+        args.backend,
+    ]
+    if args.replicas > 0:
+        worker_args += ["--replicas", str(args.replicas)]
+    if args.job_workers > 0:
+        # JobStore claiming is CAS-safe across processes, so every worker
+        # can run its own drain loop over the shared host-level queue.
+        worker_args += ["--job-workers", str(args.job_workers)]
+    shutdown_event = threading.Event()
+    _install_shutdown_signals(shutdown_event)
+    root = Path(args.project).resolve()
+
+    def ready(host: str, port: int, supervisor) -> None:
+        summary = supervisor.summary()
+        print(
+            f"serving FlorDB fleet ({summary['registered']} workers) under "
+            f"{root} at http://{host}:{port}"
+        )
+        print("routes: data plane proxied by project hash; control plane local")
+        print("        GET /fleet/workers | GET /fleet/resolve?project=<name> | GET /service/stats")
+        if args.job_workers > 0:
+            print(f"job workers: {args.job_workers} per fleet worker (shared durable queue)")
+        sys.stdout.flush()
+
+    try:
+        serve_fleet(
+            root,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            worker_args=worker_args,
+            sync_flush=args.sync_flush,
+            heartbeat_interval=args.fleet_heartbeat,
+            quiet=args.quiet,
+            ready=ready,
+            shutdown_event=shutdown_event,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from .jobs import JobRunner, pool_session_provider
     from .service import FlorService
     from .service.server import serve
+
+    if args.workers > 0:
+        return _cmd_serve_fleet(args)
 
     service = FlorService(
         Path(args.project).resolve(),
@@ -298,8 +368,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.job_workers,
             name="serve-jobs",
         ).start()
+    agent = None
+    if args.fleet_worker:
+        from .fleet.worker import WorkerAgent
+
+        if not args.fleet_register:
+            print("error: --fleet-worker requires --fleet-register", file=sys.stderr)
+            return 2
+        # An orphaned worker (supervisor gone, heartbeats failing past the
+        # timeout) takes the same graceful exit as SIGTERM: drain + close.
+        agent = WorkerAgent(
+            args.fleet_worker,
+            args.fleet_register,
+            interval=args.fleet_heartbeat,
+            on_orphaned=shutdown_event.set,
+        )
+        service.worker_agent = agent
 
     def ready(host: str, port: int) -> None:
+        if agent is not None:
+            # Registration completes fleet membership: the supervisor only
+            # learns the bound ephemeral port from this POST.
+            agent.start(f"http://{host}:{port}")
         print(f"serving FlorDB projects under {service.root} at http://{host}:{port}")
         print("routes: POST /projects/<name>/logs | POST /projects/<name>/commit")
         print("        GET  /projects/<name>/dataframe?names=... | GET /projects/<name>/sql?q=...")
@@ -324,6 +414,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         # Drain order matters: stop claiming and release in-flight jobs
         # first, then flush and close the shards the workers were using.
+        if agent is not None:
+            agent.stop()
         if runner is not None:
             runner.stop(wait=True)
         service.close()
@@ -541,6 +633,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="sqlite",
         help="storage backend per shard (memory keeps rows and blobs off disk entirely)",
     )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run a multi-process worker fleet: N worker processes routed by "
+        "consistent project hash behind this supervisor (0 = single process)",
+    )
+    # Internal fleet plumbing: the supervisor spawns each worker with these.
+    sub.add_argument("--fleet-worker", default=None, help=argparse.SUPPRESS)
+    sub.add_argument("--fleet-register", default=None, help=argparse.SUPPRESS)
+    sub.add_argument("--fleet-heartbeat", type=float, default=1.0, help=argparse.SUPPRESS)
     sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser(

@@ -148,3 +148,11 @@ class JobNotFoundError(JobError):
     def __init__(self, job_id: int):
         self.job_id = job_id
         super().__init__(f"no such job: {job_id}")
+
+
+class FleetError(ReproError):
+    """Raised by the multi-process worker fleet (repro.fleet)."""
+
+
+class TransportError(FleetError):
+    """Raised when an HTTP request to a fleet peer cannot be completed."""

@@ -1,0 +1,46 @@
+"""repro.fleet — multi-process worker fleet (ROADMAP: machine-level scaling).
+
+One ``repro serve`` process caps every shard's write throughput at one
+GIL and one SQLite writer lock, no matter how well the queue batches.
+This package splits the service into a control plane and N data planes:
+
+* :class:`~repro.fleet.ring.HashRing` — deterministic consistent-hash
+  placement of ``project -> worker`` (only ~1/N of projects move on a
+  membership change);
+* :class:`~repro.fleet.transport.HttpClient` — keep-alive JSON client
+  (one persistent connection per thread) used by the router's proxy path
+  and by socket-driving load generators;
+* :class:`~repro.fleet.worker.WorkerAgent` — worker-side registration +
+  heartbeat against the router's control routes;
+* :class:`~repro.fleet.supervisor.FleetSupervisor` — spawns the worker
+  processes, restarts crashed or hung ones under the same ring identity,
+  and runs the drain hand-off (flush + seal shards, leave the ring,
+  sweep, SIGTERM) on scale-down;
+* :class:`~repro.fleet.router.FleetRouter` — the thin stateless front
+  that proxies data-plane requests to shard owners and aggregates
+  ``/service/stats`` across the fleet;
+* :func:`~repro.fleet.run.serve_fleet` — the ``repro serve --workers N``
+  entry point wiring all of the above to one socket.
+
+The T14 benchmark measures the payoff: near-linear batched-ingest scaling
+from 1 to 4 workers on the T8-shape workload.
+"""
+
+from .ring import HashRing
+from .router import FleetRouter
+from .run import serve_fleet
+from .supervisor import FleetSupervisor, WorkerHandle, default_worker_argv, worker_ids
+from .transport import HttpClient
+from .worker import WorkerAgent
+
+__all__ = [
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
+    "HttpClient",
+    "WorkerAgent",
+    "WorkerHandle",
+    "default_worker_argv",
+    "serve_fleet",
+    "worker_ids",
+]

@@ -1,0 +1,258 @@
+"""The fleet front door: a thin, stateless project-hash proxy.
+
+The router owns *placement*, never data: every ``/projects/<name>/...``
+request is forwarded verbatim to the one worker the consistent-hash ring
+assigns ``<name>`` to, and the response streams back untouched (the single
+exception: ``/projects/<name>/stats`` is annotated with the serving worker
+id, so the per-process durability counters in it can be attributed).
+Project-less job routes (``/jobs``, ``/jobs/<id>/...``) round-robin over
+the ring — the durable job store is one host-level SQLite file whose
+claiming is CAS-safe across processes, so any worker can answer for it.
+
+Failover is the router's other job: a proxy attempt that cannot reach the
+owner marks it unreachable and *waits* (bounded by ``failover_timeout``)
+for the supervisor to restart and re-register it, then retries.  Appends
+are therefore at-least-once across a worker crash — matching the service's
+existing ack semantics, where ``202`` means "handed to the writer" and the
+client seal protocol is what upgrades acknowledged to durable.
+
+Control-plane routes served locally (never proxied):
+
+* ``POST /fleet/register`` / ``POST /fleet/heartbeat`` — worker agents;
+* ``GET /fleet/workers`` — per-worker registry view (pid, url, liveness,
+  heartbeat age, restarts);
+* ``GET /fleet/resolve?project=<name>`` — the ring's answer for a project;
+* ``GET /service/stats`` — fleet-wide aggregation of every worker's stats;
+* ``GET /healthz`` — router liveness plus registered/alive worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable
+from urllib.parse import urlencode
+
+from ..errors import FleetError, TransportError
+from ..service.app import validate_project_name
+from ..webapp.framework import HttpError, JsonResponse, Request, Response, WebApp
+from .supervisor import FleetSupervisor
+from .transport import HttpClient
+
+#: Seconds a proxy attempt will wait for a crashed owner to come back.
+DEFAULT_FAILOVER_TIMEOUT = 20.0
+
+
+class FleetRouter:
+    """Routes requests across a :class:`FleetSupervisor`'s workers.
+
+    Implements the same ``handle(Request) -> Response`` surface as
+    :class:`~repro.webapp.framework.WebApp`, so it drops straight into
+    :func:`repro.service.server.make_server`.
+    """
+
+    def __init__(
+        self,
+        supervisor: FleetSupervisor,
+        *,
+        failover_timeout: float = DEFAULT_FAILOVER_TIMEOUT,
+        proxy_timeout: float = 60.0,
+    ):
+        self.supervisor = supervisor
+        self.failover_timeout = failover_timeout
+        self.proxy_timeout = proxy_timeout
+        self._clients: dict[str, HttpClient] = {}
+        self._clients_lock = threading.Lock()
+        self._control = self._build_control_app()
+
+    # ------------------------------------------------------------- dispatch
+    def handle(self, request: Request) -> Response:
+        try:
+            return self._dispatch(request)
+        except HttpError as exc:
+            # Raised by routing itself (e.g. project-name validation) —
+            # proxied handlers report their own errors in-band.
+            return JsonResponse({"error": str(exc)}, status=exc.status)
+
+    def _dispatch(self, request: Request) -> Response:
+        segments = [s for s in request.path.split("/") if s]
+        if len(segments) >= 2 and segments[0] == "projects":
+            name = validate_project_name(segments[1])
+            annotate = None
+            if segments[2:] == ["stats"]:
+                worker_id = self.supervisor.route(name)
+
+                def annotate(payload: dict, worker_id=worker_id) -> dict:
+                    payload["worker"] = worker_id
+                    return payload
+
+            return self._proxy(self.supervisor.route(name), request, annotate=annotate)
+        if segments and segments[0] == "jobs":
+            try:
+                return self._proxy(self.supervisor.any_worker(), request)
+            except FleetError as exc:
+                return JsonResponse({"error": str(exc)}, status=503)
+        return self._control.handle(request)
+
+    def close(self) -> None:
+        with self._clients_lock:
+            clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            client.close()
+
+    # ---------------------------------------------------------------- proxy
+    def _client_for(self, url: str) -> HttpClient:
+        with self._clients_lock:
+            client = self._clients.get(url)
+            if client is None:
+                client = HttpClient(url, timeout=self.proxy_timeout)
+                self._clients[url] = client
+            return client
+
+    def _proxy(
+        self,
+        worker_id: str,
+        request: Request,
+        *,
+        annotate: Callable[[dict], dict] | None = None,
+    ) -> Response:
+        query = urlencode(request.query)
+        url = request.path + (f"?{query}" if query else "")
+        headers = {"Content-Type": request.headers.get("Content-Type", "application/json")}
+        deadline = time.monotonic() + self.failover_timeout
+        while True:
+            try:
+                worker_url = self.supervisor.url_for(
+                    worker_id, wait_timeout=max(0.0, deadline - time.monotonic())
+                )
+            except FleetError as exc:
+                return JsonResponse(
+                    {"error": f"worker {worker_id!r} unavailable: {exc}"}, status=503
+                )
+            try:
+                response = self._client_for(worker_url).request(
+                    request.method, url, body=request.body, headers=headers
+                )
+            except TransportError as exc:
+                # The owner vanished mid-request (crash, restart).  Flag it
+                # so url_for blocks on re-registration instead of handing
+                # back the same dead url, then retry until the failover
+                # budget runs out.  Retried appends are at-least-once.
+                self.supervisor.note_unreachable(worker_id)
+                if time.monotonic() >= deadline:
+                    return JsonResponse(
+                        {"error": f"worker {worker_id!r} unreachable: {exc}"},
+                        status=503,
+                    )
+                time.sleep(0.05)
+                continue
+            if annotate is not None and response.ok:
+                try:
+                    payload = annotate(json.loads(response.body))
+                except (json.JSONDecodeError, TypeError):  # pragma: no cover
+                    return response
+                return JsonResponse(payload, status=response.status)
+            return response
+
+    # -------------------------------------------------------------- control
+    def _build_control_app(self) -> WebApp:
+        app = WebApp("fleet-router")
+        supervisor = self.supervisor
+
+        def _body(request: Request) -> dict:
+            payload = request.get_json()
+            if not isinstance(payload, dict):
+                raise HttpError(400, "request body must be a JSON object")
+            return payload
+
+        @app.route("/healthz")
+        def healthz(_request: Request):
+            summary = supervisor.summary()
+            return JsonResponse({"status": "ok", "role": "router", "fleet": summary})
+
+        @app.route("/fleet/register", methods=("POST",))
+        def register(request: Request):
+            payload = _body(request)
+            try:
+                view = supervisor.on_register(
+                    str(payload.get("worker_id", "")),
+                    str(payload.get("url", "")),
+                    int(payload.get("pid", 0)),
+                )
+            except FleetError as exc:
+                raise HttpError(409, str(exc)) from exc
+            return JsonResponse({"worker": view})
+
+        @app.route("/fleet/heartbeat", methods=("POST",))
+        def heartbeat(request: Request):
+            payload = _body(request)
+            try:
+                view = supervisor.on_heartbeat(
+                    str(payload.get("worker_id", "")), int(payload.get("pid", 0))
+                )
+            except FleetError as exc:
+                raise HttpError(409, str(exc)) from exc
+            return JsonResponse({"worker": view})
+
+        @app.route("/fleet/workers")
+        def workers(_request: Request):
+            return JsonResponse(
+                {"fleet": supervisor.summary(), "workers": supervisor.worker_views()}
+            )
+
+        @app.route("/fleet/resolve")
+        def resolve(request: Request):
+            project = request.arg("project")
+            if not project:
+                raise HttpError(400, "the 'project' query parameter is required")
+            project = validate_project_name(project)
+            try:
+                worker_id = supervisor.route(project)
+            except FleetError as exc:
+                raise HttpError(503, str(exc)) from exc
+            try:
+                url = supervisor.url_for(worker_id)
+            except FleetError:
+                url = None
+            return JsonResponse({"project": project, "worker": worker_id, "url": url})
+
+        @app.route("/service/stats")
+        def service_stats(_request: Request):
+            per_worker: dict[str, dict] = {}
+            open_shards: list[str] = []
+            capacity = 0
+            pool_totals: dict[str, int] = {}
+            jobs: dict | None = None
+            for view in supervisor.worker_views():
+                worker_id = view["id"]
+                if not (view["registered"] and view["alive"]):
+                    per_worker[worker_id] = {"error": "worker not registered", **view}
+                    continue
+                try:
+                    stats = self._client_for(view["url"]).get_json("/service/stats")
+                except TransportError as exc:
+                    per_worker[worker_id] = {"error": str(exc), **view}
+                    continue
+                per_worker[worker_id] = stats
+                open_shards.extend(stats.get("open_shards", []))
+                capacity += int(stats.get("capacity", 0))
+                for key, value in stats.get("pool", {}).items():
+                    pool_totals[key] = pool_totals.get(key, 0) + int(value)
+                if jobs is None:
+                    # The job store is host-level and shared; every worker
+                    # reads the same SQLite file, so one answer covers all.
+                    jobs = stats.get("jobs")
+            return JsonResponse(
+                {
+                    "role": "router",
+                    "fleet": supervisor.summary(),
+                    "workers": per_worker,
+                    "open_shards": sorted(open_shards),
+                    "capacity": capacity,
+                    "pool": pool_totals,
+                    "jobs": jobs or {},
+                }
+            )
+
+        return app

@@ -1,0 +1,154 @@
+"""Keep-alive HTTP client for fleet peers (and load generators).
+
+Two call sites need the same thing:
+
+* the router proxies every data-plane request to a worker, and paying a
+  TCP handshake per proxied request would double the per-request cost the
+  fleet exists to shrink;
+* :class:`~repro.workloads.ServiceWorkload` drives ``repro serve`` over
+  real sockets in T8/T14, and a client that reconnects per request
+  measures connection setup, not server throughput.
+
+:class:`HttpClient` keeps one persistent :class:`http.client.HTTPConnection`
+per ``(thread, host:port)`` in thread-local storage — each workload thread
+(or long-lived router handler thread) reuses its own connection for the
+whole run, which is exactly the keep-alive behaviour ``ThreadingHTTPServer``
+with ``protocol_version = "HTTP/1.1"`` supports on the other side.
+
+A request that fails on a cached connection (the peer restarted, an idle
+keep-alive socket timed out) is retried once on a fresh connection; a
+failure on the fresh connection raises :class:`~repro.errors.TransportError`
+so callers can run their own failover (the router waits for the worker to
+re-register, then retries).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Any, Mapping
+from urllib.parse import urlsplit
+
+from ..errors import TransportError
+from ..webapp.framework import Response
+
+#: Connection-level failures worth one retry on a fresh socket.
+_RETRYABLE = (
+    http.client.HTTPException,
+    ConnectionError,
+    socket.timeout,
+    BrokenPipeError,
+    OSError,
+)
+
+
+class HttpClient:
+    """JSON-over-HTTP client with per-thread persistent connections.
+
+    ``get``/``post`` mirror :class:`~repro.webapp.framework.TestClient`, so
+    anything written against the in-process client (``ServiceWorkload``,
+    tests) drives a real server unchanged.  Non-2xx responses are returned,
+    not raised — status handling stays with the caller, like TestClient.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.netloc:
+            raise TransportError(f"expected an http://host:port base url, got {base_url!r}")
+        self.base_url = f"http://{parts.netloc}"
+        self.netloc = parts.netloc
+        self.timeout = timeout
+        self._local = threading.local()
+        # Every connection ever opened, for close(): thread-locals are not
+        # enumerable from the closing thread.
+        self._all: list[http.client.HTTPConnection] = []
+        self._all_lock = threading.Lock()
+
+    # ---------------------------------------------------------- connections
+    def _connection(self, *, fresh: bool = False) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if fresh and conn is not None:
+            conn.close()
+            conn = None
+        if conn is None:
+            conn = http.client.HTTPConnection(self.netloc, timeout=self.timeout)
+            self._local.conn = conn
+            with self._all_lock:
+                self._all.append(conn)
+        return conn
+
+    def close(self) -> None:
+        """Close every connection this client ever opened (any thread's)."""
+        with self._all_lock:
+            conns, self._all = self._all, []
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- requests
+    def request(
+        self,
+        method: str,
+        url: str,
+        *,
+        body: bytes = b"",
+        headers: Mapping[str, str] | None = None,
+    ) -> Response:
+        """One round trip; retries once on a stale keep-alive connection."""
+        send_headers = dict(headers or {})
+        send_headers.setdefault("Content-Type", "application/json")
+        for attempt in (0, 1):
+            conn = self._connection(fresh=attempt > 0)
+            try:
+                conn.request(method, url, body=body or None, headers=send_headers)
+                raw = conn.getresponse()
+                payload = raw.read()
+                return Response(
+                    body=payload.decode("utf-8"),
+                    status=raw.status,
+                    headers={k: v for k, v in raw.getheaders()},
+                )
+            except _RETRYABLE as exc:
+                # A dead keep-alive socket surfaces only when reused; give
+                # the request one fresh connection before declaring the peer
+                # unreachable.
+                if attempt == 1:
+                    raise TransportError(
+                        f"{method} http://{self.netloc}{url} failed: {exc}"
+                    ) from exc
+
+    # TestClient-compatible surface -----------------------------------------
+    def get(self, url: str) -> Response:
+        return self.request("GET", url)
+
+    def post(self, url: str, json_body: Any = None, body: bytes = b"") -> Response:
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        return self.request("POST", url, body=body)
+
+    def get_json(self, url: str) -> Any:
+        """GET expecting a 2xx JSON body; raises TransportError otherwise."""
+        response = self.get(url)
+        if not response.ok:
+            raise TransportError(
+                f"GET http://{self.netloc}{url} returned {response.status}: "
+                f"{response.body[:200]}"
+            )
+        return response.json()
+
+    def post_json(self, url: str, payload: Any = None) -> Any:
+        """POST expecting a 2xx JSON body; raises TransportError otherwise."""
+        response = self.post(url, json_body=payload if payload is not None else {})
+        if not response.ok:
+            raise TransportError(
+                f"POST http://{self.netloc}{url} returned {response.status}: "
+                f"{response.body[:200]}"
+            )
+        return response.json()

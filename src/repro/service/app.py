@@ -17,6 +17,11 @@ Routes (all JSON; ``<name>`` is a tenant/project name):
   :func:`repro.relational.sql.run_sql`; anything but SELECT/WITH is a 400.
 * ``GET /projects/<name>/stats`` — per-shard row counts and queue stats.
 * ``GET /service/stats`` and ``GET /healthz`` — pool-level introspection.
+  When the process runs as a fleet worker (``repro serve --workers N``
+  spawns it with a :class:`~repro.fleet.worker.WorkerAgent`), the stats
+  carry a ``worker`` block: id, pid, owned-shard count, heartbeat age.
+* ``POST /fleet/drain`` — flush and seal (close) every open shard; the
+  fleet supervisor's scale-down hand-off (see :mod:`repro.fleet`).
 
 Durable background jobs (:mod:`repro.jobs`) ride the same surface — a
 backfill that replays dozens of versions must not block an HTTP request or
@@ -135,6 +140,12 @@ class FlorService:
         self._owns_job_store = job_store is None
         self._jobs_lock = threading.Lock()
         self._app: WebApp | None = None
+        #: Set by the CLI when this service runs as one worker of a fleet
+        #: (:mod:`repro.fleet`); ``/service/stats`` then carries the worker
+        #: identity block so the router's aggregated view is debuggable per
+        #: process.  Duck-typed (``id``/``info()``) to keep the service
+        #: layer import-free of the fleet package.
+        self.worker_agent = None
 
     def project_exists(self, name: str) -> bool:
         """Whether ``name`` is an open shard or has a ``.flor`` home on disk."""
@@ -174,10 +185,15 @@ class FlorService:
         return self._app
 
 
-def _validated_name(name: str) -> str:
+def validate_project_name(name: str) -> str:
+    """Reject tenant names that could escape the root (shared with the
+    fleet router, which must refuse them *before* hashing a placement)."""
     if ".." in name or not _PROJECT_NAME_RE.match(name):
         raise HttpError(400, f"invalid project name: {name!r}")
     return name
+
+
+_validated_name = validate_project_name
 
 
 def _json_body(request: Request) -> dict[str, Any]:
@@ -277,17 +293,40 @@ def create_app(service: FlorService) -> WebApp:
 
     @app.route("/service/stats")
     def service_stats(_request: Request):
-        return JsonResponse(
-            {
-                "open_shards": pool.open_shards(),
-                "capacity": pool.capacity,
-                "pool": pool.stats.as_dict(),
-                "flush_size": service.flush_size,
-                "flush_interval": service.flush_interval,
-                "replicas": service.replicas,
-                "jobs": service.job_counts(),
+        payload = {
+            "open_shards": pool.open_shards(),
+            "capacity": pool.capacity,
+            "pool": pool.stats.as_dict(),
+            "flush_size": service.flush_size,
+            "flush_interval": service.flush_interval,
+            "replicas": service.replicas,
+            "jobs": service.job_counts(),
+        }
+        agent = service.worker_agent
+        if agent is not None:
+            # Fleet identity: which process this is, how many shards it
+            # currently owns handles for, and how long since the router
+            # last acknowledged its heartbeat.
+            payload["worker"] = {
+                **agent.info(),
+                "owned_shards": len(pool),
             }
-        )
+        return JsonResponse(payload)
+
+    @app.route("/fleet/drain", methods=("POST",))
+    def fleet_drain(_request: Request):
+        """Flush and seal (close) every open shard — the scale-down hand-off.
+
+        After a successful drain no acknowledged row is buffered in this
+        process and no shard database is held open, so the fleet ring can
+        reassign this worker's projects to peers that will reopen the
+        SQLite files fresh.  Also safe (and a no-op) on an idle worker.
+        """
+        names = pool.open_shards()
+        flushed = pool.flush_all()
+        for name in names:
+            pool.evict(name)
+        return JsonResponse({"flushed": flushed, "sealed_shards": names})
 
     @app.route("/projects/<name>/logs", methods=("POST",))
     def append_logs(request: Request, name: str):

@@ -8,7 +8,9 @@ Everything needed to stress the durability story deterministically:
 * :mod:`~repro.testing.invariants` — the :class:`AckLedger` and the
   checkers comparing acknowledged writes against post-recovery state;
 * :mod:`~repro.testing.procs` — :class:`ServerProcess`, which SIGKILLs a
-  real ``repro serve --job-workers`` subprocess at named barriers;
+  real ``repro serve --job-workers`` subprocess at named barriers, and
+  :class:`FleetProcess`, the same management for ``repro serve
+  --workers N`` plus per-worker kill/recovery introspection;
 * :mod:`~repro.testing.soak` — :class:`ChaosSoak`, the mixed-traffic
   engine behind the T13 benchmark;
 * the storage fault wrappers (:class:`FaultyRelationalStore`,
@@ -37,7 +39,7 @@ from .invariants import (
     check_single_replay,
     logs_watermark,
 )
-from .procs import ServerProcess, ServerProcessError
+from .procs import FleetProcess, ServerProcess, ServerProcessError
 from .soak import ChaosSoak, SoakReport, chaos_shard_factory
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "FaultPlan",
     "FaultyBlobStore",
     "FaultyRelationalStore",
+    "FleetProcess",
     "InvariantReport",
     "InvariantViolation",
     "ManualClock",

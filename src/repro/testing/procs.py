@@ -13,6 +13,14 @@ at iteration 7 of something".
 Restarting is just constructing a new :class:`ServerProcess` on the same
 root — recovery time is measured from ``start()`` to the first successful
 health check plus per-tenant read.
+
+:class:`FleetProcess` extends the same management to a worker fleet
+(``repro serve --workers N``): the managed process is the supervisor, and
+the class adds per-worker introspection over the router's control routes —
+resolve a project to its owning worker, SIGKILL one worker by pid (the
+supervisor's children are not ours to ``Popen.wait`` on, so the kill is a
+bare ``os.kill``), and poll ``/fleet/workers`` until the supervisor has
+respawned and re-registered it.
 """
 
 from __future__ import annotations
@@ -211,3 +219,101 @@ class ServerProcess:
                 f"server not healthy within {timeout}s (stuck on {pending[0]})"
             )
         return time.monotonic() - start
+
+
+class FleetProcess(ServerProcess):
+    """One managed ``repro serve --workers N`` supervisor over a root.
+
+    The inherited HTTP helpers speak to the *router*; data-plane calls are
+    transparently proxied to the owning worker, so ingest/seal/read code
+    written against :class:`ServerProcess` drives a fleet unchanged.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        workers: int = 2,
+        job_workers: int = 0,
+        startup_timeout: float = 90.0,
+        request_timeout: float = 30.0,
+        extra_args: tuple[str, ...] = (),
+    ):
+        super().__init__(
+            root,
+            job_workers=job_workers,
+            startup_timeout=startup_timeout,
+            request_timeout=request_timeout,
+            extra_args=("--workers", str(workers), *extra_args),
+        )
+        self.workers = workers
+
+    # ------------------------------------------------------------ inspection
+    def worker_views(self) -> list[dict[str, Any]]:
+        """The supervisor's registry, one view per worker id."""
+        return self.get("/fleet/workers")["workers"]
+
+    def worker_view(self, worker_id: str) -> dict[str, Any]:
+        for view in self.worker_views():
+            if view["id"] == worker_id:
+                return view
+        raise ServerProcessError(f"no worker {worker_id!r} in the fleet registry")
+
+    def resolve(self, project: str) -> str:
+        """The worker id the ring assigns ``project`` to."""
+        return self.get(f"/fleet/resolve?project={project}")["worker"]
+
+    def projects_on_distinct_workers(
+        self, count: int = 2, *, prefix: str = "tenant", probes: int = 64
+    ) -> dict[str, str]:
+        """``{project: worker_id}`` for ``count`` differently-placed projects.
+
+        Probes candidate names until the ring has spread them over ``count``
+        distinct workers — the setup every routing/chaos test needs ("two
+        projects landing on different workers").
+        """
+        placed: dict[str, str] = {}
+        seen: set[str] = set()
+        for i in range(probes):
+            name = f"{prefix}_{i:02d}"
+            owner = self.resolve(name)
+            if owner not in seen:
+                seen.add(owner)
+                placed[name] = owner
+                if len(placed) == count:
+                    return placed
+        raise ServerProcessError(
+            f"could not find {count} projects on distinct workers in {probes} probes"
+        )
+
+    # -------------------------------------------------------------- killing
+    def kill_worker9(self, worker_id: str) -> int:
+        """SIGKILL one *worker* process (not the supervisor); returns its pid."""
+        view = self.worker_view(worker_id)
+        pid = view.get("pid")
+        if not pid:
+            raise ServerProcessError(f"worker {worker_id!r} has no registered pid")
+        os.kill(int(pid), signal.SIGKILL)
+        return int(pid)
+
+    def wait_worker_recovered(
+        self, worker_id: str, old_pid: int, *, timeout: float = 60.0
+    ) -> float:
+        """Seconds until the supervisor respawned + re-registered the worker."""
+        start = time.monotonic()
+        deadline = start + timeout
+        while time.monotonic() < deadline:
+            try:
+                view = self.worker_view(worker_id)
+                if (
+                    view["registered"]
+                    and view["alive"]
+                    and view.get("pid") not in (None, old_pid)
+                ):
+                    return time.monotonic() - start
+            except (urllib.error.URLError, OSError, ServerProcessError):
+                pass
+            time.sleep(0.05)
+        raise ServerProcessError(
+            f"worker {worker_id!r} (old pid {old_pid}) not recovered within {timeout}s"
+        )

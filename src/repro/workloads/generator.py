@@ -396,10 +396,10 @@ class ServiceWorkload:
     requests of ``records_per_request`` log records, spread round-robin
     over ``projects`` tenants.  Drive it with any client exposing the
     :class:`~repro.webapp.framework.TestClient` ``post`` signature — the
-    in-process test client for hermetic benchmarks, or an HTTP client
-    against ``repro serve`` for end-to-end runs.  Per-request latencies
-    are collected so the T8 benchmark can report p50/p99 alongside
-    throughput.
+    in-process test client for hermetic benchmarks, or :meth:`run_http`
+    against a live ``repro serve`` for end-to-end runs.  Per-request
+    latencies are collected so the T8/T14 benchmarks can report p50/p99
+    alongside throughput.
     """
 
     clients: int = 8
@@ -467,6 +467,19 @@ class ServiceWorkload:
             latencies=[latency for bucket in latencies for latency in bucket],
             errors=sum(errors),
         )
+
+    def run_http(self, base_url: str, *, timeout: float = 60.0) -> ServiceLoadReport:
+        """Drive a live server over keep-alive HTTP.
+
+        :class:`~repro.fleet.transport.HttpClient` keeps one persistent
+        connection per thread, so each of the ``clients`` workload threads
+        reuses a single socket for all of its requests instead of paying
+        connection setup per request.
+        """
+        from ..fleet.transport import HttpClient
+
+        with HttpClient(base_url, timeout=timeout) as client:
+            return self.run(client)
 
 
 @dataclass

@@ -1,0 +1,131 @@
+"""Fleet chaos: SIGKILL one worker mid-ingest, the fleet carries on.
+
+The single-process kill9 test (``test_soak_smoke``) proves sealed rows
+survive a server crash.  This one proves the *fleet* version of the same
+contract: with two workers owning disjoint projects, killing one worker
+
+* never touches the surviving worker's projects,
+* is repaired by the supervisor (same worker id, new pid, same ring
+  position — the router re-resolves to the restarted process),
+* and loses at most unsealed buffers, which the client's at-least-once
+  resubmit leg recovers — verified with the same :class:`AckLedger`
+  invariants the T13 soak uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from urllib.parse import quote
+
+from repro.testing import AckLedger, FleetProcess
+
+
+def _post_metrics(fleet: FleetProcess, project: str, values: list[str]) -> None:
+    fleet.post(
+        f"/projects/{project}/logs",
+        {
+            "filename": "train.py",
+            "records": [
+                {"name": "metric", "value": value, "ctx_id": 0} for value in values
+            ],
+        },
+    )
+
+
+def _stored_values(fleet: FleetProcess, project: str) -> set[str]:
+    query = quote("SELECT value FROM logs WHERE value_name = 'metric'")
+    body = fleet.get(f"/projects/{project}/sql?q={query}")
+    return {str(record["value"]) for record in body["records"]}
+
+
+def _seal(fleet: FleetProcess, ledger: AckLedger, project: str) -> None:
+    """The client seal protocol, verbatim, through the router proxy."""
+    mark = ledger.mark(project)
+    before = fleet.get(f"/projects/{project}/stats")["dropped_rows_total"]
+    fleet.get(f"/projects/{project}/dataframe?names=metric&primary=1")
+    after = fleet.get(f"/projects/{project}/stats")["dropped_rows_total"]
+    assert before == after, f"rows dropped while sealing {project}"
+    ledger.seal_through(mark, project)
+
+
+class TestFleetWorkerKill:
+    def test_sealed_rows_survive_a_worker_kill9(self, tmp_path):
+        ledger = AckLedger()
+        with FleetProcess(tmp_path / "root", workers=2) as fleet:
+            placed = fleet.projects_on_distinct_workers(2)
+            (victim_project, victim), (survivor_project, survivor) = placed.items()
+            assert victim != survivor
+
+            # Phase 1: acknowledged AND sealed batches on both workers.
+            for batch in range(3):
+                for project in (victim_project, survivor_project):
+                    values = [f"{project}.b{batch}.r{r}" for r in range(4)]
+                    _post_metrics(fleet, project, values)
+                    ledger.record(project, "metric", values)
+            for project in (victim_project, survivor_project):
+                _seal(fleet, ledger, project)
+
+            # Phase 2: an ingest stream is in flight against the victim's
+            # project while the kill lands.  Acks recorded by the ledger;
+            # everything past the seal mark is allowed to die with the
+            # worker (and must be resubmitted below).
+            stop = threading.Event()
+            streamed: list[str] = []
+
+            def ingest_stream() -> None:
+                batch = 0
+                while not stop.is_set() and batch < 200:
+                    values = [f"{victim_project}.live{batch}.r{r}" for r in range(2)]
+                    try:
+                        _post_metrics(fleet, victim_project, values)
+                    except Exception:
+                        # A request caught mid-crash was never acked — the
+                        # ledger must not record it as a durability promise.
+                        batch += 1
+                        continue
+                    ledger.record(victim_project, "metric", values)
+                    streamed.extend(values)
+                    batch += 1
+
+            streamer = threading.Thread(target=ingest_stream, daemon=True)
+            streamer.start()
+            time.sleep(0.2)  # let the stream get going: the kill is mid-ingest
+
+            old_pid = fleet.kill_worker9(victim)
+            recovery = fleet.wait_worker_recovered(victim, old_pid, timeout=60.0)
+            stop.set()
+            streamer.join(timeout=30)
+            assert not streamer.is_alive()
+
+            # The supervisor recycled the same identity: new pid, same ring
+            # position, so the router resolves the project to victim again.
+            view = fleet.worker_view(victim)
+            assert view["pid"] != old_pid
+            assert view["restarts"] >= 1
+            assert fleet.resolve(victim_project) == victim
+            assert recovery < 60.0
+
+            # Sealed rows survived the kill on BOTH workers.
+            for project in (victim_project, survivor_project):
+                stored = _stored_values(fleet, project)
+                sealed = ledger.sealed_values(project, "metric")
+                assert sealed <= stored, (
+                    f"lost sealed rows on {project}: {sorted(sealed - stored)}"
+                )
+
+            # The survivor never even noticed: zero restarts.
+            assert fleet.worker_view(survivor)["restarts"] == 0
+
+            # At-least-once leg: resubmit every unsealed batch, then seal
+            # again — nothing may be missing anymore.
+            for name, values in ledger.forget_unsealed(victim_project):
+                _post_metrics(fleet, victim_project, list(values))
+                ledger.record(victim_project, name, values)
+            _seal(fleet, ledger, victim_project)
+            stored = _stored_values(fleet, victim_project)
+            sealed = ledger.sealed_values(victim_project, "metric")
+            assert sealed <= stored
+            assert set(streamed) <= stored
+
+            assert fleet.terminate() == 0
