@@ -34,6 +34,10 @@ the Python API and the HTTP service use.
 ``jobs``       durable background jobs over the same root:
                ``submit | status | watch | list | cancel | retry | run``
                (see :mod:`repro.jobs`)
+``policy``     per-tenant QoS policy table for the same root:
+               ``show | set | delete`` — edits are conflict-checked, and a
+               running ``serve --qos`` picks them up within its refresh
+               interval (see :mod:`repro.qos`)
 
 Example::
 
@@ -304,6 +308,9 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         # JobStore claiming is CAS-safe across processes, so every worker
         # can run its own drain loop over the shared host-level queue.
         worker_args += ["--job-workers", str(args.job_workers)]
+    # Deliberately NOT forwarded: --qos / --qos-policy.  Admission control
+    # for a fleet runs on the router (one policy view, one set of buckets);
+    # workers trust the router and run unthrottled.
     shutdown_event = threading.Event()
     _install_shutdown_signals(shutdown_event)
     root = Path(args.project).resolve()
@@ -316,6 +323,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         )
         print("routes: data plane proxied by project hash; control plane local")
         print("        GET /fleet/workers | GET /fleet/resolve?project=<name> | GET /service/stats")
+        if args.qos or args.qos_policy:
+            print("admission control: enforced at the router (429 + Retry-After; policy at /service/policy)")
         if args.job_workers > 0:
             print(f"job workers: {args.job_workers} per fleet worker (shared durable queue)")
         sys.stdout.flush()
@@ -332,6 +341,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
             quiet=args.quiet,
             ready=ready,
             shutdown_event=shutdown_event,
+            qos=args.qos,
+            qos_policy_file=args.qos_policy,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -357,6 +368,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush_mode="sync" if args.sync_flush else None,
         backend=args.backend,
         replicas=args.replicas,
+        qos=args.qos,
+        qos_policy_file=args.qos_policy,
     )
     shutdown_event = threading.Event()
     _install_shutdown_signals(shutdown_event)
@@ -398,6 +411,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"storage backend: {args.backend} (rows and blobs never touch disk)")
         if args.replicas > 0:
             print(f"read replicas: {args.replicas} per shard (bounded staleness; ?primary=1 bypasses)")
+        if service.admission is not None:
+            print("admission control: per-tenant rate/quota limits (429 + Retry-After; policy at /service/policy)")
         if runner is not None:
             print(f"job workers: {args.job_workers} (durable queue at {service.root}/.flor-jobs.db)")
         sys.stdout.flush()
@@ -420,6 +435,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             runner.stop(wait=True)
         service.close()
     return 0
+
+
+def _format_rule(rule: dict) -> str:
+    limits = []
+    if rule.get("rate") is not None:
+        burst = rule.get("burst")
+        limits.append(f"rate={rule['rate']:g}/s" + (f" burst={burst:g}" if burst is not None else ""))
+    if rule.get("byte_quota") is not None:
+        limits.append(f"bytes={rule['byte_quota']}/{rule['window_seconds']:g}s")
+    if not limits:
+        limits.append("unlimited")
+    return f"{rule['selector']:<20} {' '.join(limits)}  priority={rule['priority']}"
+
+
+def _cmd_policy_show(args: argparse.Namespace) -> int:
+    from .qos import PolicyStore
+
+    with PolicyStore.open(Path(args.project).resolve()) as policies:
+        if args.tenant:
+            resolution = policies.resolve(args.tenant)
+            print(f"{args.tenant}: governed by {resolution.source} "
+                  f"({resolution.rule.selector!r})")
+            print("  " + _format_rule(resolution.rule.as_dict()))
+            return 0
+        rules = policies.rules()
+        default = policies.default()
+        print(f"policy table (generation {policies.generation()}):")
+        for rule in rules:
+            print("  " + _format_rule(rule.as_dict()))
+        if default is not None:
+            print("  " + _format_rule(default.as_dict()))
+        if not rules and default is None:
+            print("  (empty: every tenant admitted unlimited at normal priority)")
+    return 0
+
+
+def _cmd_policy_set(args: argparse.Namespace) -> int:
+    from .errors import PolicyConflictError
+    from .qos import PolicyStore, rule_from_payload
+
+    payload = {
+        "rate": args.rate,
+        "burst": args.burst,
+        "byte_quota": args.byte_quota,
+        "window_seconds": args.window,
+        "priority": args.priority,
+        "position": args.position,
+    }
+    with PolicyStore.open(Path(args.project).resolve()) as policies:
+        try:
+            stored = policies.put(rule_from_payload(args.selector, payload))
+        except PolicyConflictError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(f"  conflict: {exc.as_dict()}", file=sys.stderr)
+            return 2
+        print(_format_rule(stored.as_dict()))
+    return 0
+
+
+def _cmd_policy_delete(args: argparse.Namespace) -> int:
+    from .qos import PolicyStore
+
+    with PolicyStore.open(Path(args.project).resolve()) as policies:
+        if policies.delete(args.selector):
+            print(f"deleted policy rule {args.selector!r}")
+            return 0
+    print(f"error: no policy rule for selector {args.selector!r}", file=sys.stderr)
+    return 1
 
 
 def _open_job_store(args: argparse.Namespace):
@@ -640,11 +723,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a multi-process worker fleet: N worker processes routed by "
         "consistent project hash behind this supervisor (0 = single process)",
     )
+    sub.add_argument(
+        "--qos",
+        action="store_true",
+        help="enforce per-tenant admission control (rate/quota limits from the policy table)",
+    )
+    sub.add_argument(
+        "--qos-policy",
+        default=None,
+        metavar="FILE",
+        help="load a JSON policy document into the policy table at startup (implies --qos)",
+    )
     # Internal fleet plumbing: the supervisor spawns each worker with these.
     sub.add_argument("--fleet-worker", default=None, help=argparse.SUPPRESS)
     sub.add_argument("--fleet-register", default=None, help=argparse.SUPPRESS)
     sub.add_argument("--fleet-heartbeat", type=float, default=1.0, help=argparse.SUPPRESS)
     sub.set_defaults(func=_cmd_serve)
+
+    policy = subparsers.add_parser(
+        "policy",
+        help="inspect and edit the per-tenant QoS policy table under --project",
+    )
+    policy_sub = policy.add_subparsers(dest="policy_command", required=True)
+
+    sub = policy_sub.add_parser("show", help="print the policy table (or one tenant's resolved policy)")
+    sub.add_argument("tenant", nargs="?", default=None, help="resolve this tenant instead of listing rules")
+    sub.set_defaults(func=_cmd_policy_show)
+
+    sub = policy_sub.add_parser("set", help="insert or update one policy rule (conflicts are rejected)")
+    sub.add_argument("selector", help="exact tenant name, 'prefix*' pattern, or '*' (default fallback)")
+    sub.add_argument("--rate", type=float, default=None, help="sustained requests/second (omit = unlimited)")
+    sub.add_argument("--burst", type=float, default=None, help="token-bucket capacity (default: max(rate, 1))")
+    sub.add_argument("--byte-quota", type=int, default=None, help="bytes admitted per window (omit = unlimited)")
+    sub.add_argument("--window", type=float, default=None, help="byte-quota window in seconds (default 60)")
+    sub.add_argument("--priority", default="normal", choices=("high", "normal", "low"), help="job priority class")
+    sub.add_argument("--position", type=int, default=0, help="scan position (0 = keep existing / append)")
+    sub.set_defaults(func=_cmd_policy_set)
+
+    sub = policy_sub.add_parser("delete", help="remove one policy rule")
+    sub.add_argument("selector")
+    sub.set_defaults(func=_cmd_policy_delete)
 
     sub = subparsers.add_parser(
         "gc",

@@ -150,6 +150,38 @@ class JobNotFoundError(JobError):
         super().__init__(f"no such job: {job_id}")
 
 
+class QosError(ReproError):
+    """Raised by the admission-control / multi-tenant QoS layer (repro.qos)."""
+
+
+class PolicyConflictError(QosError):
+    """A policy write was rejected at write time (shadowed or contradictory).
+
+    Carries a structured ``detail`` dict so the HTTP layer can return a
+    machine-readable conflict body instead of prose only:
+
+    * ``code`` — ``"shadowed"``, ``"shadows"`` or ``"contradiction"``;
+    * ``selector`` — the selector of the rejected rule;
+    * ``by`` — for shadow conflicts, the selector of the other rule involved;
+    * ``field`` — for contradictions, the offending field.
+    """
+
+    def __init__(self, message: str, *, code: str, selector: str, by: str | None = None, field: str | None = None):
+        self.code = code
+        self.selector = selector
+        self.by = by
+        self.field = field
+        super().__init__(message)
+
+    def as_dict(self) -> dict:
+        detail = {"code": self.code, "selector": self.selector}
+        if self.by is not None:
+            detail["by"] = self.by
+        if self.field is not None:
+            detail["field"] = self.field
+        return detail
+
+
 class FleetError(ReproError):
     """Raised by the multi-process worker fleet (repro.fleet)."""
 

@@ -23,25 +23,53 @@ Control-plane routes served locally (never proxied):
   heartbeat age, restarts);
 * ``GET /fleet/resolve?project=<name>`` — the ring's answer for a project;
 * ``GET /service/stats`` — fleet-wide aggregation of every worker's stats;
-* ``GET /healthz`` — router liveness plus registered/alive worker counts.
+* ``GET /healthz`` — router liveness plus registered/alive worker counts;
+* ``GET/PUT/DELETE /service/policy[/<selector>]`` — the fleet's QoS policy
+  table (when the router was built with one; see below).
+
+When the fleet runs with QoS (``repro serve --workers N --qos[-policy]``),
+admission control lives *here*: the router holds the single policy view and
+per-tenant token buckets, answers over-limit requests with ``429`` +
+``Retry-After`` before any proxying, and its counters are the fleet-wide
+admission truth (workers run with admission off and trust the router).
+Proxied responses stream back untouched, so a worker-side header — or a
+router-side denial's ``Retry-After`` — reaches the client unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from typing import Callable
 from urllib.parse import urlencode
 
 from ..errors import FleetError, TransportError
-from ..service.app import validate_project_name
+from ..qos import AdmissionController, PolicyStore
+from ..service.app import enforce_admission, register_policy_routes, validate_project_name
 from ..webapp.framework import HttpError, JsonResponse, Request, Response, WebApp
 from .supervisor import FleetSupervisor
 from .transport import HttpClient
 
 #: Seconds a proxy attempt will wait for a crashed owner to come back.
 DEFAULT_FAILOVER_TIMEOUT = 20.0
+
+#: Failover retry backoff: first retry after ``_BACKOFF_BASE`` seconds,
+#: doubling (with jitter) up to ``_BACKOFF_CAP`` per attempt.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 1.0
+
+#: ``/projects/<name>/...`` sub-paths that count against the tenant's
+#: admission limits (the same set the single-process service enforces).
+#: Everything else — stats, unknown paths — proxies unchecked.
+_ADMITTED_SUBPATHS = (
+    ("logs",),
+    ("commit",),
+    ("dataframe",),
+    ("sql",),
+    ("jobs", "backfill"),
+)
 
 
 class FleetRouter:
@@ -58,10 +86,20 @@ class FleetRouter:
         *,
         failover_timeout: float = DEFAULT_FAILOVER_TIMEOUT,
         proxy_timeout: float = 60.0,
+        policies: PolicyStore | None = None,
+        admission: AdmissionController | None = None,
     ):
         self.supervisor = supervisor
         self.failover_timeout = failover_timeout
         self.proxy_timeout = proxy_timeout
+        #: QoS lives at the front door: the router holds the one policy
+        #: view (and per-tenant buckets) for the whole fleet, denying
+        #: over-limit requests before they ever reach a worker — workers
+        #: run with admission off and trust the router.  A worker crash
+        #: therefore cannot reset admission counters; the chaos suite
+        #: asserts they stay monotone across a SIGKILL + restart.
+        self.policies = policies
+        self.admission = admission
         self._clients: dict[str, HttpClient] = {}
         self._clients_lock = threading.Lock()
         self._control = self._build_control_app()
@@ -71,20 +109,31 @@ class FleetRouter:
         try:
             return self._dispatch(request)
         except HttpError as exc:
-            # Raised by routing itself (e.g. project-name validation) —
-            # proxied handlers report their own errors in-band.
-            return JsonResponse({"error": str(exc)}, status=exc.status)
+            # Raised by routing itself (project-name validation, admission
+            # denials) — proxied handlers report their own errors in-band.
+            # Mirror WebApp.handle: structured detail and headers survive,
+            # which is how a router-side 429 carries Retry-After.
+            payload: dict = {"error": str(exc)}
+            if exc.detail is not None:
+                payload["detail"] = exc.detail
+            return JsonResponse(payload, status=exc.status, headers=exc.headers)
 
     def _dispatch(self, request: Request) -> Response:
         segments = [s for s in request.path.split("/") if s]
         if len(segments) >= 2 and segments[0] == "projects":
             name = validate_project_name(segments[1])
+            if tuple(segments[2:]) in _ADMITTED_SUBPATHS:
+                enforce_admission(self.admission, name, len(request.body))
             annotate = None
             if segments[2:] == ["stats"]:
                 worker_id = self.supervisor.route(name)
 
                 def annotate(payload: dict, worker_id=worker_id) -> dict:
                     payload["worker"] = worker_id
+                    if self.admission is not None:
+                        # The worker ran with admission off; the router's
+                        # view is the authoritative one for this tenant.
+                        payload["qos"] = self.admission.snapshot(name)
                     return payload
 
             return self._proxy(self.supervisor.route(name), request, annotate=annotate)
@@ -92,7 +141,7 @@ class FleetRouter:
             try:
                 return self._proxy(self.supervisor.any_worker(), request)
             except FleetError as exc:
-                return JsonResponse({"error": str(exc)}, status=503)
+                return self._unavailable(str(exc))
         return self._control.handle(request)
 
     def close(self) -> None:
@@ -100,6 +149,19 @@ class FleetRouter:
             clients, self._clients = list(self._clients.values()), {}
         for client in clients:
             client.close()
+        if self.policies is not None:
+            self.policies.close()
+
+    @staticmethod
+    def _unavailable(message: str) -> Response:
+        """A 503 that tells the client when retrying is worth it: after
+        roughly one backoff cap, the supervisor has had a chance to restart
+        and re-register the worker."""
+        return JsonResponse(
+            {"error": message},
+            status=503,
+            headers={"Retry-After": f"{_BACKOFF_CAP:.3f}"},
+        )
 
     # ---------------------------------------------------------------- proxy
     def _client_for(self, url: str) -> HttpClient:
@@ -121,15 +183,14 @@ class FleetRouter:
         url = request.path + (f"?{query}" if query else "")
         headers = {"Content-Type": request.headers.get("Content-Type", "application/json")}
         deadline = time.monotonic() + self.failover_timeout
+        attempt = 0
         while True:
             try:
                 worker_url = self.supervisor.url_for(
                     worker_id, wait_timeout=max(0.0, deadline - time.monotonic())
                 )
             except FleetError as exc:
-                return JsonResponse(
-                    {"error": f"worker {worker_id!r} unavailable: {exc}"}, status=503
-                )
+                return self._unavailable(f"worker {worker_id!r} unavailable: {exc}")
             try:
                 response = self._client_for(worker_url).request(
                     request.method, url, body=request.body, headers=headers
@@ -137,15 +198,20 @@ class FleetRouter:
             except TransportError as exc:
                 # The owner vanished mid-request (crash, restart).  Flag it
                 # so url_for blocks on re-registration instead of handing
-                # back the same dead url, then retry until the failover
-                # budget runs out.  Retried appends are at-least-once.
+                # back the same dead url, then retry — with exponential
+                # backoff and jitter, so a hundred concurrent requests do
+                # not hammer the reborn worker in lockstep — until the
+                # failover budget runs out and the client gets a 503 with
+                # a Retry-After instead of blocking forever.  Retried
+                # appends are at-least-once.
                 self.supervisor.note_unreachable(worker_id)
-                if time.monotonic() >= deadline:
-                    return JsonResponse(
-                        {"error": f"worker {worker_id!r} unreachable: {exc}"},
-                        status=503,
-                    )
-                time.sleep(0.05)
+                now = time.monotonic()
+                if now >= deadline:
+                    return self._unavailable(f"worker {worker_id!r} unreachable: {exc}")
+                delay = min(_BACKOFF_BASE * (2**attempt), _BACKOFF_CAP)
+                delay *= 0.5 + random.random() / 2  # jitter in [0.5x, 1.0x)
+                attempt += 1
+                time.sleep(min(delay, max(deadline - now, 0.0)))
                 continue
             if annotate is not None and response.ok:
                 try:
@@ -159,6 +225,12 @@ class FleetRouter:
     def _build_control_app(self) -> WebApp:
         app = WebApp("fleet-router")
         supervisor = self.supervisor
+
+        if self.policies is not None:
+            # One policy table for the whole fleet, administered here: the
+            # same GET/PUT/DELETE surface (and structured 409 conflicts) as
+            # the single-process service.
+            register_policy_routes(app, lambda: self.policies, lambda: self.admission)
 
         def _body(request: Request) -> dict:
             payload = request.get_json()
@@ -243,16 +315,19 @@ class FleetRouter:
                     # The job store is host-level and shared; every worker
                     # reads the same SQLite file, so one answer covers all.
                     jobs = stats.get("jobs")
-            return JsonResponse(
-                {
-                    "role": "router",
-                    "fleet": supervisor.summary(),
-                    "workers": per_worker,
-                    "open_shards": sorted(open_shards),
-                    "capacity": capacity,
-                    "pool": pool_totals,
-                    "jobs": jobs or {},
-                }
-            )
+            payload = {
+                "role": "router",
+                "fleet": supervisor.summary(),
+                "workers": per_worker,
+                "open_shards": sorted(open_shards),
+                "capacity": capacity,
+                "pool": pool_totals,
+                "jobs": jobs or {},
+            }
+            if self.admission is not None:
+                # Admission happens here, not on workers, so the router's
+                # own counters ARE the fleet-wide admission view.
+                payload["qos"] = self.admission.snapshot()
+            return JsonResponse(payload)
 
         return app

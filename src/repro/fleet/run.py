@@ -22,6 +22,7 @@ import threading
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..qos import AdmissionController, PolicyStore
 from ..service.server import make_server
 from .router import FleetRouter
 from .supervisor import (
@@ -46,8 +47,16 @@ def serve_fleet(
     startup_timeout: float = 60.0,
     ready: Callable[[str, int, FleetSupervisor], None] | None = None,
     shutdown_event: threading.Event | None = None,
+    qos: bool = False,
+    qos_policy_file: Path | str | None = None,
 ) -> None:
-    """Run a worker fleet until ``shutdown_event`` (or KeyboardInterrupt)."""
+    """Run a worker fleet until ``shutdown_event`` (or KeyboardInterrupt).
+
+    With ``qos`` (or a ``qos_policy_file``, which implies it), admission
+    control runs on the *router*: one policy store and one set of
+    per-tenant buckets front the whole fleet, and workers are spawned
+    without QoS flags — they trust the router.
+    """
     supervisor = FleetSupervisor(
         default_worker_argv(
             root,
@@ -58,7 +67,16 @@ def serve_fleet(
         workers=workers,
         heartbeat_timeout=heartbeat_timeout,
     )
-    router = FleetRouter(supervisor)
+    policies: PolicyStore | None = None
+    admission: AdmissionController | None = None
+    if qos_policy_file is not None:
+        policies = PolicyStore.load_file(root, qos_policy_file)
+        qos = True
+    elif qos:
+        policies = PolicyStore.open(root)
+    if qos and policies is not None:
+        admission = AdmissionController(policies)
+    router = FleetRouter(supervisor, policies=policies, admission=admission)
     server = make_server(router, host, port, quiet=quiet)  # type: ignore[arg-type]
     bound_host, bound_port = server.server_address[:2]
     register_url = f"http://{bound_host}:{int(bound_port)}"

@@ -133,6 +133,14 @@ class HttpClient:
             body = json.dumps(json_body).encode("utf-8")
         return self.request("POST", url, body=body)
 
+    def put(self, url: str, json_body: Any = None, body: bytes = b"") -> Response:
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        return self.request("PUT", url, body=body)
+
+    def delete(self, url: str) -> Response:
+        return self.request("DELETE", url)
+
     def get_json(self, url: str) -> Any:
         """GET expecting a 2xx JSON body; raises TransportError otherwise."""
         response = self.get(url)

@@ -1,0 +1,54 @@
+"""Admission control and multi-tenant quality of service.
+
+The request boundary of a shared FlorDB service (one process or a whole
+fleet) decides — per tenant, per request — *admit now, retry later, or
+never*, driven by a declarative policy table with write-time conflict
+detection.  Three layers:
+
+* :mod:`repro.qos.bucket` — the accounting primitives: a skew-safe
+  :class:`TokenBucket` (rate + burst) and fixed-window :class:`QuotaWindow`
+  (bytes per window), both over injectable clocks;
+* :mod:`repro.qos.policy` — the persisted per-tenant policy table:
+  ordered first-match rules with exact/prefix/default selectors, priority
+  classes mapped onto ``jobs.priority``, and writes that reject shadowed or
+  contradictory rules with a structured
+  :class:`~repro.errors.PolicyConflictError`;
+* :mod:`repro.qos.admission` — the :class:`AdmissionController` gluing the
+  two together at the HTTP layer: one check-and-charge per request, ``429``
+  + ``Retry-After`` semantics, and monotone per-tenant counters surfaced in
+  the stats routes.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .bucket import QuotaWindow, TokenBucket
+from .policy import (
+    BUILTIN_DEFAULT,
+    PRIORITY_CLASSES,
+    QOS_DB_FILENAME,
+    PolicyRule,
+    PolicyStore,
+    Resolution,
+    rule_from_payload,
+    selector_covers,
+    selector_matches,
+    validate_rule,
+    validate_selector,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BUILTIN_DEFAULT",
+    "PRIORITY_CLASSES",
+    "PolicyRule",
+    "PolicyStore",
+    "QOS_DB_FILENAME",
+    "QuotaWindow",
+    "Resolution",
+    "TokenBucket",
+    "rule_from_payload",
+    "selector_covers",
+    "selector_matches",
+    "validate_rule",
+    "validate_selector",
+]

@@ -1,0 +1,156 @@
+"""Rate-limiting primitives: token bucket and fixed-window byte quota.
+
+Both primitives are pure accounting over an injectable clock — no threads,
+no sleeps — so the admission controller can compose them under one lock and
+the tests can drive them with :class:`repro.testing.ManualClock` (and the
+seeded :class:`~repro.testing.SkewedClock`, which makes readings jump
+*backwards*; see the clamping notes below).
+
+Design points the multi-tenant service relies on:
+
+* **Deny, never queue.**  ``try_take``/``try_consume`` either grant now or
+  return a positive ``retry_after`` hint; nothing ever blocks.  The HTTP
+  layer turns the hint into ``429`` + ``Retry-After``.
+* **Skew-safe refill.**  A wall clock that steps backwards (NTP slew, the
+  chaos harness's skewed clock) must not mint negative elapsed time into
+  negative tokens or negative retry hints — elapsed time is clamped to
+  ``>= 0`` and the last-refill watermark only moves forward.
+* **Burst is a cap, not a debt.**  The bucket starts full (``burst``
+  tokens) and refills at ``rate`` tokens/second up to ``burst``; an idle
+  tenant earns at most one burst, never an unbounded backlog of credit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    Not thread-safe on its own; the admission controller serializes access.
+
+    Parameters
+    ----------
+    rate:
+        Sustained refill in tokens per second (> 0).
+    burst:
+        Bucket capacity (>= 1).  The bucket starts full.
+    clock:
+        Seconds-valued time source.  Only *differences* are used, so either
+        a monotonic or a unix clock works; a reading older than the last
+        one contributes zero refill (never negative).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        # Clamp: a skewed/stepped-back clock reading must not subtract
+        # tokens (negative elapsed) — and the watermark stays put so the
+        # missing time is credited once the clock catches back up.
+        elapsed = now - self._last
+        if elapsed <= 0:
+            return
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def level(self) -> float:
+        """Current token count (after refill); never negative."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available.
+
+        Returns ``0.0`` when granted, else the (positive) seconds until
+        ``n`` tokens will have accrued — the ``Retry-After`` hint.  A
+        request for more than ``burst`` tokens can never be granted; the
+        hint then covers the shortfall at the sustained rate, and callers
+        should treat it as a hard reject.
+        """
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return max((n - self._tokens) / self.rate, 1e-9)
+
+
+class QuotaWindow:
+    """Fixed-window byte quota: ``quota`` bytes per ``window_seconds``.
+
+    The window resets ``window_seconds`` after its first consumption (or
+    probe), not on a global epoch grid — each tenant's window is its own.
+    Clock steps backwards are absorbed: the window never resets early and
+    the retry hint is clamped into ``[0, window_seconds]``.
+    """
+
+    def __init__(
+        self,
+        quota: int,
+        window_seconds: float,
+        *,
+        clock: Callable[[], float] = time.time,
+    ):
+        if quota <= 0:
+            raise ValueError(f"quota must be > 0 bytes, got {quota}")
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0, got {window_seconds}")
+        self.quota = int(quota)
+        self.window_seconds = float(window_seconds)
+        self._clock = clock
+        self._used = 0
+        self._window_start = clock()
+
+    def _roll(self) -> None:
+        now = self._clock()
+        if now - self._window_start >= self.window_seconds:
+            self._window_start = now
+            self._used = 0
+
+    @property
+    def used(self) -> int:
+        """Bytes consumed in the current window."""
+        self._roll()
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        self._roll()
+        return max(self.quota - self._used, 0)
+
+    def try_consume(self, nbytes: int) -> float:
+        """Consume ``nbytes`` if the window has room.
+
+        Returns ``0.0`` when granted, else the seconds until the window
+        resets (clamped to ``[~0, window_seconds]`` so a backwards clock
+        never produces a hint longer than one window or a negative one).
+        ``nbytes > quota`` can never fit in any window; callers should
+        reject such requests outright (see
+        :meth:`~repro.qos.admission.AdmissionController.admit`).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self._roll()
+        if self._used + nbytes <= self.quota:
+            self._used += nbytes
+            return 0.0
+        until_reset = self._window_start + self.window_seconds - self._clock()
+        return min(max(until_reset, 1e-9), self.window_seconds)

@@ -2,10 +2,11 @@
 
 The schema follows Figure 1 of the paper.  Columns keep the paper's names so
 that queries written against the paper translate directly.  Log and loop rows
-are append-only; the mutable tables are ``build_deps.cached`` and the job
+are append-only; the mutable tables are ``build_deps.cached``, the job
 orchestration pair ``jobs``/``job_events`` (``jobs`` rows advance through a
 state machine, ``job_events`` is an append-only audit/progress trail — see
-:mod:`repro.jobs`).
+:mod:`repro.jobs`) and the per-tenant admission-control rules in
+``qos_policies`` (see :mod:`repro.qos`).
 """
 
 from __future__ import annotations
@@ -18,7 +19,17 @@ SCHEMA_VERSION = 1
 
 #: Physical tables in creation order (white boxes of Figure 1, plus the
 #: job-orchestration tables added for the production service layer).
-TABLES = ("meta", "logs", "loops", "ts2vid", "obj_store", "build_deps", "jobs", "job_events")
+TABLES = (
+    "meta",
+    "logs",
+    "loops",
+    "ts2vid",
+    "obj_store",
+    "build_deps",
+    "jobs",
+    "job_events",
+    "qos_policies",
+)
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -127,6 +138,24 @@ CREATE INDEX IF NOT EXISTS idx_jobs_project ON jobs (project, id);
 -- Append-only job trail: state transitions, per-version progress
 -- checkpoints (kind='version'), and worker errors.  A resumed backfill
 -- reads its own 'version' events to skip versions already replayed.
+-- Multi-tenant QoS policy table (repro.qos).  One row per admission rule:
+-- ``selector`` is an exact tenant name, a ``prefix*`` pattern, or ``*``
+-- (the default fallback, excluded from the ordered scan).  Non-``*`` rules
+-- are evaluated first-match-wins in ``position`` order, which is what makes
+-- shadowing detectable at write time (see repro.qos.policy).  NULL limit
+-- columns mean "unlimited" for that dimension.
+CREATE TABLE IF NOT EXISTS qos_policies (
+    selector        TEXT PRIMARY KEY,
+    position        INTEGER NOT NULL DEFAULT 0,
+    rate            REAL,
+    burst           REAL,
+    byte_quota      INTEGER,
+    window_seconds  REAL NOT NULL DEFAULT 60.0,
+    priority        TEXT NOT NULL DEFAULT 'normal',
+    updated_at      REAL NOT NULL DEFAULT 0.0
+);
+CREATE INDEX IF NOT EXISTS idx_qos_position ON qos_policies (position, selector);
+
 CREATE TABLE IF NOT EXISTS job_events (
     seq             INTEGER PRIMARY KEY AUTOINCREMENT,
     job_id          INTEGER NOT NULL,

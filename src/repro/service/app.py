@@ -23,6 +23,20 @@ Routes (all JSON; ``<name>`` is a tenant/project name):
 * ``POST /fleet/drain`` — flush and seal (close) every open shard; the
   fleet supervisor's scale-down hand-off (see :mod:`repro.fleet`).
 
+Multi-tenant QoS (:mod:`repro.qos`) rides the tenant-facing routes: when
+the service runs with admission control enabled (``repro serve --qos`` or
+``--qos-policy FILE``), every append/commit/read/job-submit is checked
+against the tenant's policy first — over-limit requests are answered
+``429`` with a computed ``Retry-After`` header (never queued), appends
+larger than the tenant's whole byte quota are ``413``, and the policy
+table itself is administered over:
+
+* ``GET /service/policy`` — the full rule table (ordered rules, default,
+  generation, whether enforcement is on).
+* ``GET/PUT/DELETE /service/policy/<selector>`` — one rule; PUT rejects
+  shadowed or contradictory rules with ``409`` and a structured
+  ``detail`` (see :class:`~repro.errors.PolicyConflictError`).
+
 Durable background jobs (:mod:`repro.jobs`) ride the same surface — a
 backfill that replays dozens of versions must not block an HTTP request or
 die with a worker:
@@ -59,8 +73,16 @@ from pathlib import Path
 from typing import Any
 
 from ..config import FLOR_DIR_NAME
-from ..errors import DatabaseError, JobError, JobNotFoundError, ReproError
+from ..errors import (
+    DatabaseError,
+    JobError,
+    JobNotFoundError,
+    PolicyConflictError,
+    QosError,
+    ReproError,
+)
 from ..jobs import JOB_KINDS, JOBS_DB_FILENAME, KIND_BACKFILL, JobStore
+from ..qos import AdmissionController, PolicyStore, rule_from_payload
 from ..relational.records import JOB_STATES, LogRecord, LoopRecord
 from ..relational.schema import TABLES
 from ..webapp.framework import HttpError, JsonResponse, Request, WebApp
@@ -119,6 +141,9 @@ class FlorService:
         replica_staleness: float = 0.25,
         shard_factory=None,
         job_store: JobStore | None = None,
+        qos: bool = False,
+        qos_policy_file: Path | str | None = None,
+        admission_refresh: float = 2.0,
     ):
         self.root = Path(root)
         self.flush_size = flush_size
@@ -139,6 +164,22 @@ class FlorService:
         self._job_store = job_store
         self._owns_job_store = job_store is None
         self._jobs_lock = threading.Lock()
+        self._policy_store: PolicyStore | None = None
+        self._policy_lock = threading.Lock()
+        #: Admission control (repro.qos) — ``None`` unless QoS is enabled,
+        #: and the hot paths check exactly that one attribute, so a service
+        #: without QoS pays nothing (the T15 benchmark asserts no T8-shape
+        #: regression with QoS off).  Enabled by ``qos=True`` or by passing
+        #: a policy file (``repro serve --qos-policy``), whose rules are
+        #: loaded — with full conflict checking — before serving starts.
+        self.admission: AdmissionController | None = None
+        if qos_policy_file is not None:
+            self._policy_store = PolicyStore.load_file(self.root, qos_policy_file)
+            qos = True
+        if qos:
+            self.admission = AdmissionController(
+                self.policies, refresh_interval=admission_refresh
+            )
         self._app: WebApp | None = None
         #: Set by the CLI when this service runs as one worker of a fleet
         #: (:mod:`repro.fleet`); ``/service/stats`` then carries the worker
@@ -162,6 +203,17 @@ class FlorService:
                 self._job_store = JobStore.open(self.root)
             return self._job_store
 
+    @property
+    def policies(self) -> PolicyStore:
+        """The host-level QoS policy store (``<root>/.flor-qos.db``), lazily
+        opened so the policy admin routes work — and ``repro policy set``
+        prepared rules are visible — even on a service running with
+        enforcement off."""
+        with self._policy_lock:
+            if self._policy_store is None:
+                self._policy_store = PolicyStore.open(self.root)
+            return self._policy_store
+
     def job_counts(self) -> dict[str, int]:
         """Per-state job counts without forcing the store into existence."""
         if self._job_store is None and not (self.root / JOBS_DB_FILENAME).exists():
@@ -176,6 +228,9 @@ class FlorService:
             if self._job_store is not None and self._owns_job_store:
                 self._job_store.close()
                 self._job_store = None
+            if self._policy_store is not None:
+                self._policy_store.close()
+                self._policy_store = None
 
     # ------------------------------------------------------------------- app
     def app(self) -> WebApp:
@@ -196,6 +251,40 @@ def validate_project_name(name: str) -> str:
 _validated_name = validate_project_name
 
 
+def enforce_admission(
+    admission: AdmissionController | None, tenant: str, nbytes: int = 0
+) -> None:
+    """Run one admission check and raise its HTTP mapping when denied.
+
+    Shared by the single-process service and the fleet router (which
+    enforces *instead of* its workers — exactly one charge per request).
+    Throttles become ``429`` and hard rejects ``413``, both carrying a
+    ``Retry-After`` header (decimal seconds) and a structured ``detail``
+    body — never silent queuing.
+    """
+    if admission is None:
+        return
+    decision = admission.admit(tenant, nbytes)
+    if decision.allowed:
+        return
+    retry_after = max(decision.retry_after, 0.001)
+    headers = {"Retry-After": f"{retry_after:.3f}"}
+    detail = {"reason": decision.reason, "retry_after": retry_after, "tenant": tenant}
+    if decision.rejected:
+        raise HttpError(
+            413,
+            f"request of {nbytes} bytes exceeds tenant {tenant!r}'s entire byte quota",
+            detail=detail,
+            headers=headers,
+        )
+    raise HttpError(
+        429,
+        f"tenant {tenant!r} is over its {decision.reason} limit",
+        detail=detail,
+        headers=headers,
+    )
+
+
 def _json_body(request: Request) -> dict[str, Any]:
     try:
         payload = request.get_json()
@@ -204,6 +293,77 @@ def _json_body(request: Request) -> dict[str, Any]:
     if not isinstance(payload, dict):
         raise HttpError(400, "request body must be a JSON object")
     return payload
+
+
+def register_policy_routes(app: WebApp, get_policies, get_admission) -> None:
+    """Mount the policy admin surface on ``app``.
+
+    ``GET /service/policy`` (the whole table), ``GET/PUT/DELETE
+    /service/policy/<selector>``.  Shared between the single-process
+    service and the fleet router's control plane (which owns the one
+    policy view for the whole fleet), so both speak the same protocol:
+    conflicting writes are ``409`` with the structured
+    :meth:`~repro.errors.PolicyConflictError.as_dict` detail, malformed
+    rules are ``400``.  ``get_policies``/``get_admission`` are thunks so
+    the stores stay lazily opened.
+    """
+
+    @app.route("/service/policy")
+    def policy_table(_request: Request):
+        policies = get_policies()
+        default = policies.default()
+        return JsonResponse(
+            {
+                "generation": policies.generation(),
+                "enforcing": get_admission() is not None,
+                "rules": [rule.as_dict() for rule in policies.rules()],
+                "default": None if default is None else default.as_dict(),
+            }
+        )
+
+    @app.route("/service/policy/<selector>")
+    def policy_get(_request: Request, selector: str):
+        policies = get_policies()
+        try:
+            rule = policies.get(selector)
+        except QosError as exc:
+            raise HttpError(400, str(exc)) from exc
+        payload: dict[str, Any] = {
+            "selector": selector,
+            "rule": None if rule is None else rule.as_dict(),
+        }
+        if "*" not in selector:
+            # A concrete tenant name: also say which rule actually governs
+            # it (an exact rule, a prefix rule, the default, or the
+            # built-in unlimited policy).
+            payload["resolved"] = policies.resolve(selector).as_dict()
+        elif rule is None:
+            raise HttpError(404, f"no policy rule for selector {selector!r}")
+        return JsonResponse(payload)
+
+    @app.route("/service/policy/<selector>", methods=("PUT",))
+    def policy_put(request: Request, selector: str):
+        policies = get_policies()
+        try:
+            stored = policies.put(rule_from_payload(selector, _json_body(request)))
+        except PolicyConflictError as exc:
+            raise HttpError(409, str(exc), detail=exc.as_dict()) from exc
+        except QosError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return JsonResponse(
+            {"rule": stored.as_dict(), "generation": policies.generation()}
+        )
+
+    @app.route("/service/policy/<selector>", methods=("DELETE",))
+    def policy_delete(_request: Request, selector: str):
+        policies = get_policies()
+        try:
+            removed = policies.delete(selector)
+        except QosError as exc:
+            raise HttpError(400, str(exc)) from exc
+        if not removed:
+            raise HttpError(404, f"no policy rule for selector {selector!r}")
+        return JsonResponse({"deleted": selector, "generation": policies.generation()})
 
 
 def _record_list(payload: dict[str, Any], key: str) -> list[dict[str, Any]]:
@@ -302,6 +462,8 @@ def create_app(service: FlorService) -> WebApp:
             "replicas": service.replicas,
             "jobs": service.job_counts(),
         }
+        if service.admission is not None:
+            payload["qos"] = service.admission.snapshot()
         agent = service.worker_agent
         if agent is not None:
             # Fleet identity: which process this is, how many shards it
@@ -312,6 +474,8 @@ def create_app(service: FlorService) -> WebApp:
                 "owned_shards": len(pool),
             }
         return JsonResponse(payload)
+
+    register_policy_routes(app, lambda: service.policies, lambda: service.admission)
 
     @app.route("/fleet/drain", methods=("POST",))
     def fleet_drain(_request: Request):
@@ -330,8 +494,10 @@ def create_app(service: FlorService) -> WebApp:
 
     @app.route("/projects/<name>/logs", methods=("POST",))
     def append_logs(request: Request, name: str):
+        name = _validated_name(name)
+        enforce_admission(service.admission, name, len(request.body))
         payload = _json_body(request)
-        with pool.checkout(_validated_name(name)) as shard:
+        with pool.checkout(name) as shard:
             logs = _build_log_records(shard, payload)
             loops = _build_loop_records(shard, payload)
             if not logs and not loops:
@@ -348,9 +514,11 @@ def create_app(service: FlorService) -> WebApp:
 
     @app.route("/projects/<name>/commit", methods=("POST",))
     def commit(request: Request, name: str):
+        name = _validated_name(name)
+        enforce_admission(service.admission, name)
         payload = _json_body(request)
         message = str(payload.get("message", ""))
-        with pool.checkout(_validated_name(name)) as shard:
+        with pool.checkout(name) as shard:
             shard.flush()
             vid = shard.session.commit(message)
             return JsonResponse({"vid": vid, "tstamp": shard.session.tstamp})
@@ -391,6 +559,7 @@ def create_app(service: FlorService) -> WebApp:
         latest = request.arg("latest") in ("1", "true", "yes")
         force_primary = request.arg("primary") in ("1", "true", "yes")
         name = _existing(name)
+        enforce_admission(service.admission, name)
         if not force_primary:
             # Bounded-staleness read: no queue flush, served from a snapshot
             # replica; the watermark tells the client the highest logs.seq
@@ -424,6 +593,7 @@ def create_app(service: FlorService) -> WebApp:
         names = [n for n in names_arg.split(",") if n]
         force_primary = request.arg("primary") in ("1", "true", "yes")
         name = _existing(name)
+        enforce_admission(service.admission, name)
         if not force_primary:
             try:
                 outcome = _replica_read(
@@ -475,6 +645,7 @@ def create_app(service: FlorService) -> WebApp:
         job row the client polls via ``GET /jobs/<id>``.
         """
         name = _existing(name)
+        enforce_admission(service.admission, name)
         payload = _json_body(request)
         filename = payload.get("filename")
         if not filename or not isinstance(filename, str):
@@ -498,12 +669,17 @@ def create_app(service: FlorService) -> WebApp:
             job_payload["plan"] = payload["plan"]
         if "include_latest" in payload:
             job_payload["include_latest"] = bool(payload["include_latest"])
+        # An explicit priority wins; otherwise the tenant's policy class
+        # (high/normal/low → jobs.priority) decides where the job queues.
+        default_priority = 0
+        if service.admission is not None and "priority" not in payload:
+            default_priority = service.admission.job_priority(name)
         try:
             job = service.jobs.submit(
                 name,
                 kind,
                 job_payload,
-                priority=_int_field(payload, "priority", 0),
+                priority=_int_field(payload, "priority", default_priority),
                 max_attempts=_int_field(payload, "max_attempts", 3),
             )
         except JobError as exc:
@@ -586,6 +762,11 @@ def create_app(service: FlorService) -> WebApp:
                         shard.session.flusher.stats.as_dict()
                         if shard.session.flusher is not None
                         else {}
+                    ),
+                    "qos": (
+                        service.admission.snapshot(shard.session.projid)
+                        if service.admission is not None
+                        else None
                     ),
                     "query_cache": shard.session.query.stats.as_dict(),
                     "replicas": (

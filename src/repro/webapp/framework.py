@@ -63,19 +63,33 @@ class Response:
 class JsonResponse(Response):
     """Response whose body is JSON-encoded from a Python object."""
 
-    def __init__(self, payload: Any, status: int = 200):
-        super().__init__(
-            body=json.dumps(payload),
-            status=status,
-            headers={"Content-Type": "application/json"},
-        )
+    def __init__(self, payload: Any, status: int = 200, headers: Mapping[str, str] | None = None):
+        merged = {"Content-Type": "application/json"}
+        if headers:
+            merged.update(headers)
+        super().__init__(body=json.dumps(payload), status=status, headers=merged)
 
 
 class HttpError(WebAppError):
-    """Raise inside a handler to produce a non-200 response."""
+    """Raise inside a handler to produce a non-200 response.
 
-    def __init__(self, status: int, message: str):
+    ``detail`` (a JSON-serializable object) is merged into the error body so
+    handlers can return structured, machine-readable errors — e.g. a policy
+    conflict's ``{"code": "shadowed", "by": ...}`` — and ``headers`` are
+    added to the response, which is how ``429`` carries ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        detail: Any = None,
+        headers: Mapping[str, str] | None = None,
+    ):
         self.status = status
+        self.detail = detail
+        self.headers = dict(headers) if headers else {}
         super().__init__(message)
 
 
@@ -162,7 +176,10 @@ class WebApp:
         try:
             result = handler(request, **params) if params else handler(request)
         except HttpError as exc:
-            return JsonResponse({"error": str(exc)}, status=exc.status)
+            payload: dict[str, Any] = {"error": str(exc)}
+            if exc.detail is not None:
+                payload["detail"] = exc.detail
+            return JsonResponse(payload, status=exc.status, headers=exc.headers)
         return self._normalize(result)
 
     @staticmethod
@@ -204,3 +221,9 @@ class TestClient:
 
     def post(self, url: str, json_body: Any = None, body: bytes = b"") -> Response:
         return self._request("POST", url, json_body=json_body, body=body)
+
+    def put(self, url: str, json_body: Any = None, body: bytes = b"") -> Response:
+        return self._request("PUT", url, json_body=json_body, body=body)
+
+    def delete(self, url: str) -> Response:
+        return self._request("DELETE", url)

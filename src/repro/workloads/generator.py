@@ -370,6 +370,9 @@ class ServiceLoadReport:
     seconds: float
     latencies: list[float] = field(default_factory=list, repr=False)
     errors: int = 0
+    #: ``429`` responses honored with backoff — deliberate admission-control
+    #: throttling, reported separately from failures.
+    throttles: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -408,6 +411,16 @@ class ServiceWorkload:
     projects: int = 1
     value_name: str = "metric"
     filename: str = "load.py"
+    #: ``429`` handling: retry up to ``max_retries`` times per request with
+    #: capped exponential backoff, honoring the server's ``Retry-After``
+    #: hint when it is longer than the schedule says.  A throttle is not a
+    #: failure — it is the admission layer doing its job — so throttled
+    #: attempts count in ``ServiceLoadReport.throttles``, and only a request
+    #: that exhausts its retries still throttled (or fails outright) counts
+    #: as an error.
+    max_retries: int = 6
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
 
     def project_names(self) -> list[str]:
         return [f"tenant_{i:02d}" for i in range(self.projects)]
@@ -416,11 +429,23 @@ class ServiceWorkload:
     def total_records(self) -> int:
         return self.clients * self.requests_per_client * self.records_per_request
 
+    @staticmethod
+    def _retry_after(headers) -> float:
+        """The ``Retry-After`` hint in seconds (0 when absent/garbled)."""
+        for key, value in (headers or {}).items():
+            if key.lower() == "retry-after":
+                try:
+                    return max(float(value), 0.0)
+                except (TypeError, ValueError):
+                    return 0.0
+        return 0.0
+
     def run(self, client) -> ServiceLoadReport:
         """Drive ``client`` from ``clients`` threads; returns the report."""
         names = self.project_names()
         latencies: list[list[float]] = [[] for _ in range(self.clients)]
         errors = [0] * self.clients
+        throttles = [0] * self.clients
         barrier = threading.Barrier(self.clients + 1)
 
         def worker(worker_id: int) -> None:
@@ -439,15 +464,38 @@ class ServiceWorkload:
                         for j in range(self.records_per_request)
                     ],
                 }
-                started = time.perf_counter()
-                try:
-                    response = client.post(url, json_body=payload)
-                    ok = response.ok
-                except Exception:  # noqa: BLE001 - a dead worker must not
-                    ok = False  # silently deflate the measured request count
-                latencies[worker_id].append(time.perf_counter() - started)
-                if not ok:
-                    errors[worker_id] += 1
+                attempt = 0
+                while True:
+                    started = time.perf_counter()
+                    try:
+                        response = client.post(url, json_body=payload)
+                    except Exception:  # noqa: BLE001 - a dead worker must not
+                        # silently deflate the measured request count
+                        latencies[worker_id].append(time.perf_counter() - started)
+                        errors[worker_id] += 1
+                        break
+                    if response.status == 429 and attempt < self.max_retries:
+                        # Throttled: honor the server's hint, floored by the
+                        # exponential schedule and capped so one slow tenant
+                        # never parks a thread for a whole quota window.
+                        throttles[worker_id] += 1
+                        delay = min(
+                            self.backoff_cap,
+                            max(
+                                self._retry_after(response.headers),
+                                self.backoff_base * (2**attempt),
+                            ),
+                        )
+                        time.sleep(delay)
+                        attempt += 1
+                        continue
+                    # Only the admitted (or terminally failed) attempt's
+                    # latency is recorded — backoff sleeps are not service
+                    # latency.
+                    latencies[worker_id].append(time.perf_counter() - started)
+                    if not response.ok:
+                        errors[worker_id] += 1
+                    break
 
         threads = [
             threading.Thread(target=worker, args=(worker_id,), daemon=True)
@@ -466,6 +514,7 @@ class ServiceWorkload:
             seconds=seconds,
             latencies=[latency for bucket in latencies for latency in bucket],
             errors=sum(errors),
+            throttles=sum(throttles),
         )
 
     def run_http(self, base_url: str, *, timeout: float = 60.0) -> ServiceLoadReport:

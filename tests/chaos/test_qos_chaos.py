@@ -1,0 +1,100 @@
+"""QoS chaos: admission state rides the router, so worker kills don't reset it.
+
+The fleet enforces admission at the router — workers are spawned without
+QoS flags and trust it.  That placement is load-bearing under faults: a
+SIGKILLed (and supervisor-restarted) worker must not reset admission
+counters, reopen a throttled tenant's bucket, or start throttling a cold
+tenant.  This test drives a hot/cold tenant pair through a real
+``repro serve --workers 2`` subprocess, kills the worker owning the hot
+tenant mid-traffic, and asserts the router's counters stay monotone.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+
+from repro.testing import FleetProcess
+
+#: Tight rate for the hot tenant so a burst of posts hits 429 quickly;
+#: everyone else falls through to the built-in unlimited policy.
+POLICY = {"rules": [{"selector": "hot", "rate": 3.0, "burst": 2.0}]}
+
+
+def _post(fleet: FleetProcess, project: str, tag: str):
+    """One small append; returns None on success, the HTTPError on 4xx."""
+    try:
+        fleet.post(
+            f"/projects/{project}/logs",
+            {"records": [{"name": "metric", "value": tag, "ctx_id": 0}]},
+        )
+        return None
+    except urllib.error.HTTPError as error:
+        error.read()  # drain so the keep-alive connection can be reused
+        return error
+
+
+def _drive(fleet: FleetProcess, rounds: int, tag: str) -> tuple[int, int]:
+    """Post ``rounds`` times to hot and cold; returns (hot_429s, cold_429s)."""
+    hot_throttled = cold_throttled = 0
+    for i in range(rounds):
+        error = _post(fleet, "hot", f"{tag}.hot{i}")
+        if error is not None:
+            assert error.code == 429, f"hot tenant got {error.code}, expected 429"
+            assert float(error.headers["Retry-After"]) > 0.0
+            hot_throttled += 1
+        error = _post(fleet, "cold", f"{tag}.cold{i}")
+        if error is not None:
+            cold_throttled += 1
+    return hot_throttled, cold_throttled
+
+
+def _qos(fleet: FleetProcess) -> dict:
+    return fleet.get("/service/stats")["qos"]
+
+
+class TestQosSurvivesWorkerKill:
+    def test_admission_counters_monotone_across_worker_kill9(self, tmp_path):
+        policy_file = tmp_path / "policy.json"
+        policy_file.write_text(json.dumps(POLICY))
+        root = tmp_path / "root"
+        with FleetProcess(
+            root, workers=2, extra_args=("--qos-policy", str(policy_file))
+        ) as fleet:
+            # Phase 1: hot gets throttled, cold sails through.
+            hot_429s, cold_429s = _drive(fleet, rounds=8, tag="pre")
+            assert hot_429s > 0, "hot tenant was never throttled"
+            assert cold_429s == 0, "cold tenant was throttled"
+            before = _qos(fleet)
+            assert before["throttled"] >= hot_429s
+            assert before["tenants"]["hot"]["throttled"] > 0
+            assert before["tenants"]["cold"]["throttled"] == 0
+
+            # Phase 2: SIGKILL the worker owning the hot tenant's shard.
+            victim = fleet.resolve("hot")
+            old_pid = fleet.kill_worker9(victim)
+            recovery = fleet.wait_worker_recovered(victim, old_pid, timeout=60.0)
+            assert recovery < 60.0
+            assert fleet.worker_view(victim)["pid"] != old_pid
+
+            # The restarted worker changed nothing about admission: the
+            # router owned the state all along.
+            after_kill = _qos(fleet)
+            for key in ("admitted", "throttled", "rejected"):
+                assert after_kill[key] >= before[key], (
+                    f"{key} went backwards across the kill: "
+                    f"{before[key]} -> {after_kill[key]}"
+                )
+            assert after_kill["generation"] == before["generation"]
+
+            # Phase 3: same contract holds for fresh traffic — hot is still
+            # rate-limited under the same policy, cold still never throttled.
+            hot_429s2, cold_429s2 = _drive(fleet, rounds=8, tag="post")
+            assert hot_429s2 > 0
+            assert cold_429s2 == 0
+            final = _qos(fleet)
+            assert final["admitted"] > after_kill["admitted"]
+            assert final["throttled"] >= after_kill["throttled"] + hot_429s2
+            assert final["tenants"]["cold"]["throttled"] == 0
+
+            assert fleet.terminate() == 0

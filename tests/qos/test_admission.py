@@ -1,0 +1,167 @@
+"""AdmissionController behaviour: decisions, counters, refresh, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos import AdmissionController, PolicyRule, PolicyStore
+from repro.testing import ManualClock
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with PolicyStore.open(tmp_path) as s:
+        yield s
+
+
+def controller(store, clock, **kwargs):
+    kwargs.setdefault("refresh_interval", 0.0)  # poll every check: tests want determinism
+    return AdmissionController(store, clock=clock, **kwargs)
+
+
+class TestDecisions:
+    def test_unlimited_tenant_always_admitted(self, store):
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        for _ in range(100):
+            assert ctl.admit("anyone", nbytes=10_000).allowed
+
+    def test_rate_limit_throttles_with_positive_retry_after(self, store):
+        store.put(PolicyRule(selector="hot", rate=2.0, burst=2.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        assert ctl.admit("hot").allowed
+        assert ctl.admit("hot").allowed
+        decision = ctl.admit("hot")
+        assert decision.throttled and not decision.rejected
+        assert decision.reason == "rate"
+        assert decision.retry_after > 0.0
+        clock.advance(decision.retry_after)
+        assert ctl.admit("hot").allowed
+
+    def test_byte_quota_throttles_and_recovers_next_window(self, store):
+        store.put(PolicyRule(selector="hot", byte_quota=100, window_seconds=10.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        assert ctl.admit("hot", nbytes=80).allowed
+        decision = ctl.admit("hot", nbytes=40)
+        assert decision.throttled and decision.reason == "quota"
+        assert 0.0 < decision.retry_after <= 10.0
+        clock.advance(10.0)
+        assert ctl.admit("hot", nbytes=40).allowed
+
+    def test_oversized_request_is_rejected_not_throttled(self, store):
+        store.put(PolicyRule(selector="hot", byte_quota=100, window_seconds=10.0))
+        ctl = controller(store, ManualClock())
+        decision = ctl.admit("hot", nbytes=101)
+        assert decision.rejected and not decision.throttled
+        assert decision.reason == "too_large"
+        assert decision.retry_after == 10.0
+
+    def test_rate_throttle_does_not_charge_quota(self, store):
+        store.put(PolicyRule(selector="hot", rate=1.0, byte_quota=100, window_seconds=10.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        assert ctl.admit("hot", nbytes=10).allowed
+        for _ in range(5):
+            assert ctl.admit("hot", nbytes=10).reason == "rate"
+        # Only the single admitted request's bytes were charged.
+        assert ctl.snapshot("hot")["quota_remaining"] == 90
+
+    def test_quota_throttle_does_not_spend_rate_token(self, store):
+        store.put(PolicyRule(selector="hot", rate=10.0, burst=5.0, byte_quota=100, window_seconds=10.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        assert ctl.admit("hot", nbytes=90).allowed
+        assert ctl.admit("hot", nbytes=20).reason == "quota"
+        assert ctl.snapshot("hot")["bucket_level"] == 4.0  # only the grant spent a token
+
+    def test_tenants_are_isolated(self, store):
+        store.put(PolicyRule(selector="hot", rate=1.0, burst=1.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        assert ctl.admit("hot").allowed
+        assert ctl.admit("hot").throttled
+        for _ in range(20):
+            assert ctl.admit("cold").allowed  # unmentioned tenant: builtin unlimited
+
+
+class TestCountersAndSnapshot:
+    def test_counters_partition_by_outcome_and_stay_monotone(self, store):
+        store.put(PolicyRule(selector="hot", rate=2.0, burst=2.0, byte_quota=100, window_seconds=60.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        ctl.admit("hot", nbytes=10)
+        ctl.admit("hot", nbytes=10)
+        ctl.admit("hot", nbytes=10)  # rate throttle
+        ctl.admit("hot", nbytes=500)  # too large
+        stats = ctl.snapshot("hot")
+        assert (stats["admitted"], stats["throttled"], stats["rejected"]) == (2, 1, 1)
+
+    def test_global_snapshot_totals_and_per_tenant_blocks(self, store):
+        store.put(PolicyRule(selector="hot", rate=1.0, burst=1.0))
+        clock = ManualClock()
+        ctl = controller(store, clock)
+        ctl.admit("hot")
+        ctl.admit("hot")
+        ctl.admit("cold")
+        snap = ctl.snapshot()
+        assert snap["admitted"] == 2
+        assert snap["throttled"] == 1
+        assert snap["rejected"] == 0
+        assert set(snap["tenants"]) == {"hot", "cold"}
+        assert snap["tenants"]["hot"]["policy"]["source"] == "rule"
+        assert snap["tenants"]["cold"]["policy"]["source"] == "builtin"
+
+    def test_snapshot_materializes_unseen_tenant_policy(self, store):
+        store.put(PolicyRule(selector="hot", rate=3.0))
+        ctl = controller(store, ManualClock())
+        stats = ctl.snapshot("hot")  # never admitted anything
+        assert stats["admitted"] == 0
+        assert stats["bucket_level"] == 3.0  # burst defaults to max(rate, 1)
+
+
+class TestRefresh:
+    def test_in_process_policy_change_applies_immediately(self, store):
+        clock = ManualClock()
+        ctl = AdmissionController(store, refresh_interval=3600.0, clock=clock)
+        assert ctl.admit("hot").allowed  # builtin unlimited
+        store.put(PolicyRule(selector="hot", rate=1.0, burst=1.0))  # fires on_change
+        assert ctl.admit("hot").allowed  # fresh bucket from the new rule
+        assert ctl.admit("hot").throttled
+
+    def test_cross_process_change_seen_after_refresh_interval(self, store, tmp_path):
+        clock = ManualClock()
+        ctl = AdmissionController(store, refresh_interval=5.0, clock=clock)
+        assert ctl.admit("hot").allowed
+        # A second process writes through its own store handle: no on_change
+        # hook fires here, only the shared generation counter moves.
+        with PolicyStore.open(tmp_path) as other:
+            other.put(PolicyRule(selector="hot", rate=1.0, burst=1.0))
+        assert ctl.admit("hot").allowed  # still inside the stale window
+        clock.advance(5.1)
+        ctl.admit("hot")
+        assert ctl.admit("hot").throttled
+
+    def test_counters_survive_policy_rebuild(self, store):
+        clock = ManualClock()
+        ctl = AdmissionController(store, refresh_interval=0.0, clock=clock)
+        store.put(PolicyRule(selector="hot", rate=1.0, burst=1.0))
+        ctl.admit("hot")
+        ctl.admit("hot")  # throttled
+        before = ctl.snapshot("hot")
+        store.put(PolicyRule(selector="hot", rate=100.0))
+        after = ctl.snapshot("hot")
+        assert after["admitted"] == before["admitted"] == 1
+        assert after["throttled"] == before["throttled"] == 1
+        assert after["policy"]["rate"] == 100.0
+
+
+class TestJobPriority:
+    def test_priority_class_maps_to_job_priority(self, store):
+        store.put(PolicyRule(selector="vip", priority="high"))
+        store.put(PolicyRule(selector="batch_*", priority="low"))
+        ctl = controller(store, ManualClock())
+        assert ctl.job_priority("vip") == 100
+        assert ctl.job_priority("batch_7") == -100
+        assert ctl.job_priority("anyone") == 0

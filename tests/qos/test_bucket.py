@@ -1,0 +1,161 @@
+"""Token-bucket and quota-window accounting under controlled clocks.
+
+Everything here runs on :class:`repro.testing.ManualClock` (exact refill
+math) or :class:`repro.testing.SkewedClock` (seeded drift, including
+backwards readings) — the core QoS invariant being that a misbehaving
+clock can throttle a tenant a little early or late but can never mint
+negative tokens, negative retry hints, or an early window reset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos import QuotaWindow, TokenBucket
+from repro.testing import FaultPlan, ManualClock, SkewedClock
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        assert bucket.level == 4.0
+        for _ in range(4):
+            assert bucket.try_take() == 0.0
+        assert bucket.level == 0.0
+
+    def test_refill_math_is_rate_times_elapsed(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=10.0, clock=clock)
+        for _ in range(10):
+            bucket.try_take()
+        clock.advance(1.5)
+        assert bucket.level == pytest.approx(3.0)  # 1.5s * 2 tokens/s
+
+    def test_burst_caps_idle_accrual(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        bucket.try_take(5.0)
+        clock.advance(3600.0)  # an hour idle earns one burst, not 360k tokens
+        assert bucket.level == 5.0
+
+    def test_denied_take_returns_positive_retry_hint(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.try_take() == 0.0
+        hint = bucket.try_take()
+        assert hint == pytest.approx(0.25)  # 1 token at 4/s
+        clock.advance(hint)
+        assert bucket.try_take() == 0.0
+
+    def test_denied_take_does_not_spend(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_take()
+        level_after_denials = None
+        for _ in range(5):
+            assert bucket.try_take() > 0.0
+            level_after_denials = bucket.level
+        assert level_after_denials == 0.0  # retries never drive it negative
+
+    def test_backwards_clock_never_grants_negative_tokens(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        bucket.try_take(3.0)
+        clock.advance(-500.0)
+        assert bucket.level == 1.0  # unchanged, not negative
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0  # empty now, but the hint is positive
+
+    def test_backwards_clock_credits_time_once_caught_up(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=1.0, burst=10.0, clock=clock)
+        bucket.try_take(10.0)
+        clock.advance(-100.0)
+        bucket.try_take(0.0)  # refill probe while skewed back
+        clock.advance(100.0 + 4.0)  # catch back up and move 4s forward
+        assert bucket.level == pytest.approx(4.0)  # 4 real seconds, once
+
+    def test_skewed_clock_levels_stay_in_range(self):
+        plan = FaultPlan(seed=7, skew_rate=0.5, max_skew_seconds=30.0)
+        manual = ManualClock()
+        skewed = SkewedClock(plan, base=manual)
+        bucket = TokenBucket(rate=5.0, burst=8.0, clock=skewed)
+        for i in range(500):
+            manual.advance(0.01)
+            hint = bucket.try_take()
+            assert hint >= 0.0
+            level = bucket.level
+            assert 0.0 <= level <= 8.0, f"level {level} out of range at step {i}"
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rejects_nonpositive_rate(self, rate):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=1.0)
+
+    def test_rejects_subunit_burst(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestQuotaWindow:
+    def test_consumes_until_quota_then_denies(self):
+        clock = ManualClock()
+        window = QuotaWindow(quota=100, window_seconds=60.0, clock=clock)
+        assert window.try_consume(60) == 0.0
+        assert window.try_consume(40) == 0.0
+        assert window.remaining == 0
+        assert window.try_consume(1) > 0.0
+
+    def test_denied_consume_does_not_charge(self):
+        clock = ManualClock()
+        window = QuotaWindow(quota=100, window_seconds=60.0, clock=clock)
+        window.try_consume(90)
+        assert window.try_consume(20) > 0.0
+        assert window.used == 90  # the denied 20 bytes were not charged
+
+    def test_window_resets_after_window_seconds(self):
+        clock = ManualClock()
+        window = QuotaWindow(quota=100, window_seconds=60.0, clock=clock)
+        window.try_consume(100)
+        clock.advance(59.9)
+        assert window.try_consume(1) > 0.0
+        clock.advance(0.1)
+        assert window.try_consume(100) == 0.0
+
+    def test_retry_hint_is_time_until_reset(self):
+        clock = ManualClock()
+        window = QuotaWindow(quota=10, window_seconds=60.0, clock=clock)
+        window.try_consume(10)
+        clock.advance(45.0)
+        assert window.try_consume(1) == pytest.approx(15.0)
+
+    def test_backwards_clock_never_resets_early_or_hints_negative(self):
+        clock = ManualClock()
+        window = QuotaWindow(quota=10, window_seconds=60.0, clock=clock)
+        window.try_consume(10)
+        clock.advance(-1000.0)
+        hint = window.try_consume(1)
+        assert hint > 0.0
+        assert hint <= 60.0  # clamped to one window even with huge skew
+        assert window.used == 10  # no early reset
+
+    def test_skewed_clock_usage_stays_bounded(self):
+        plan = FaultPlan(seed=11, skew_rate=0.4, max_skew_seconds=90.0)
+        manual = ManualClock()
+        window = QuotaWindow(quota=50, window_seconds=10.0, clock=SkewedClock(plan, base=manual))
+        for _ in range(300):
+            manual.advance(0.1)
+            hint = window.try_consume(7)
+            assert hint >= 0.0
+            assert 0 <= window.used <= 50
+
+    @pytest.mark.parametrize("quota,window", [(0, 1.0), (-5, 1.0), (10, 0.0), (10, -1.0)])
+    def test_rejects_degenerate_parameters(self, quota, window):
+        with pytest.raises(ValueError):
+            QuotaWindow(quota=quota, window_seconds=window)
+
+    def test_rejects_negative_bytes(self):
+        window = QuotaWindow(quota=10, window_seconds=1.0, clock=ManualClock())
+        with pytest.raises(ValueError):
+            window.try_consume(-1)

@@ -124,3 +124,94 @@ class TestServiceWorkload:
 
         report = ServiceLoadReport(requests=0, records=0, seconds=0.0)
         assert report.percentile(99) == 0.0
+
+
+class TestServiceWorkloadBackoff:
+    """429 + Retry-After handling in the load generator's retry loop."""
+
+    class _ThrottlingClient:
+        """Answers 429 (with a Retry-After) N times per URL, then 202."""
+
+        def __init__(self, throttles_before_success: int, retry_after: str | None = "0.001"):
+            from collections import defaultdict
+
+            self.throttles_before_success = throttles_before_success
+            self.retry_after = retry_after
+            self.attempts = defaultdict(int)
+            self.lock = __import__("threading").Lock()
+
+        def post(self, url, json_body=None, body=b""):
+            from repro.webapp.framework import Response
+
+            with self.lock:
+                self.attempts[url] += 1
+                attempt = self.attempts[url]
+            if attempt <= self.throttles_before_success:
+                headers = {}
+                if self.retry_after is not None:
+                    headers["Retry-After"] = self.retry_after
+                return Response(body='{"error": "throttled"}', status=429, headers=headers)
+            return Response(body='{"queued": 1}', status=202, headers={})
+
+    def test_throttled_requests_retry_until_admitted(self):
+        from repro.workloads import ServiceWorkload
+
+        workload = ServiceWorkload(
+            clients=1, requests_per_client=1, backoff_base=0.001, backoff_cap=0.01
+        )
+        client = self._ThrottlingClient(throttles_before_success=3)
+        report = workload.run(client)
+        assert report.errors == 0
+        assert report.throttles == 3
+        assert report.requests == 1
+        assert len(report.latencies) == 1  # backoff sleeps are not latency samples
+
+    def test_retry_budget_exhaustion_is_an_error_not_a_hang(self):
+        from repro.workloads import ServiceWorkload
+
+        workload = ServiceWorkload(
+            clients=1,
+            requests_per_client=1,
+            max_retries=2,
+            backoff_base=0.001,
+            backoff_cap=0.01,
+        )
+        client = self._ThrottlingClient(throttles_before_success=100)
+        report = workload.run(client)
+        assert report.throttles == 2  # the budget, not 100
+        assert report.errors == 1  # final attempt still throttled -> error
+
+    def test_retry_after_header_floors_the_backoff_delay(self, monkeypatch):
+        from repro import workloads
+        from repro.workloads import ServiceWorkload
+
+        sleeps = []
+        monkeypatch.setattr(workloads.generator.time, "sleep", sleeps.append)
+        workload = ServiceWorkload(
+            clients=1, requests_per_client=1, backoff_base=0.0001, backoff_cap=2.0
+        )
+        client = self._ThrottlingClient(throttles_before_success=1, retry_after="0.75")
+        report = workload.run(client)
+        assert report.errors == 0
+        assert sleeps == [0.75]  # the server hint beat the tiny schedule floor
+
+    def test_backoff_cap_bounds_even_huge_retry_after(self, monkeypatch):
+        from repro import workloads
+        from repro.workloads import ServiceWorkload
+
+        sleeps = []
+        monkeypatch.setattr(workloads.generator.time, "sleep", sleeps.append)
+        workload = ServiceWorkload(
+            clients=1, requests_per_client=1, backoff_base=0.001, backoff_cap=0.5
+        )
+        client = self._ThrottlingClient(throttles_before_success=1, retry_after="3600")
+        workload.run(client)
+        assert sleeps == [0.5]  # one slow tenant never parks a thread for an hour
+
+    def test_garbled_retry_after_falls_back_to_schedule(self):
+        from repro.workloads import ServiceWorkload
+
+        assert ServiceWorkload._retry_after({"Retry-After": "soon"}) == 0.0
+        assert ServiceWorkload._retry_after({"retry-after": "1.5"}) == 1.5
+        assert ServiceWorkload._retry_after({}) == 0.0
+        assert ServiceWorkload._retry_after(None) == 0.0
