@@ -38,6 +38,10 @@ the Python API and the HTTP service use.
                ``show | set | delete`` — edits are conflict-checked, and a
                running ``serve --qos`` picks them up within its refresh
                interval (see :mod:`repro.qos`)
+``monitor``    live terminal dashboard over a running service or fleet
+               router: subscribes to ``GET /service/telemetry?stream=1``
+               and renders counters (with rates), gauges, histogram
+               percentiles, tail-broker state (see :mod:`repro.obs`)
 
 Example::
 
@@ -308,6 +312,10 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         # JobStore claiming is CAS-safe across processes, so every worker
         # can run its own drain loop over the shared host-level queue.
         worker_args += ["--job-workers", str(args.job_workers)]
+    if args.access_log:
+        # Each worker logs the requests it actually served (the router
+        # proxies verbatim, so worker-side lines carry the tenant path).
+        worker_args += ["--access-log", "--access-log-sample", str(args.access_log_sample)]
     # Deliberately NOT forwarded: --qos / --qos-policy.  Admission control
     # for a fleet runs on the router (one policy view, one set of buckets);
     # workers trust the router and run unthrottled.
@@ -398,6 +406,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         service.worker_agent = agent
 
+    app = service.app()
+    if args.access_log:
+        from .obs import AccessLog, stderr_emitter
+
+        # One structured line per (sampled) request to stderr; every
+        # request still lands in the telemetry registry's http.* series.
+        app = AccessLog(
+            app,
+            metrics=service.metrics,
+            emit=stderr_emitter,
+            sample=max(1, args.access_log_sample),
+        )
+
     def ready(host: str, port: int) -> None:
         if agent is not None:
             # Registration completes fleet membership: the supervisor only
@@ -419,7 +440,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         serve(
-            service.app(),
+            app,
             host=args.host,
             port=args.port,
             quiet=args.quiet,
@@ -572,10 +593,80 @@ def _cmd_jobs_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_job_over_http(args: argparse.Namespace) -> int:
+    """``jobs watch --url``: ride the live SSE event feed instead of polling.
+
+    Subscribes to ``GET /jobs/<id>/tail`` (directly or through the fleet
+    router) and prints events as they commit.  A dropped stream — the
+    serving worker crashed, the router failed over — is *resumed*, not
+    restarted: the last event seq goes back as ``Last-Event-ID`` and the
+    relational backfill replays exactly what was missed.
+    """
+    import json as _json
+    import time as _time
+
+    from .errors import TransportError
+    from .fleet.transport import HttpClient
+
+    deadline = None if args.timeout <= 0 else _time.monotonic() + args.timeout
+    last_seq = 0
+
+    def _remaining() -> float | None:
+        if deadline is None:
+            return None
+        return max(0.0, deadline - _time.monotonic())
+
+    def _timed_out() -> bool:
+        return deadline is not None and _time.monotonic() >= deadline
+
+    with HttpClient(args.url, timeout=max(args.timeout, 30.0)) as client:
+        while True:
+            headers = {"Last-Event-ID": str(last_seq)} if last_seq else {}
+            try:
+                stream = client.stream(
+                    f"/jobs/{args.job_id}/tail?keepalive=1.0", headers=headers
+                )
+            except TransportError as exc:
+                if _timed_out():
+                    print(f"timed out after {args.timeout}s: {exc}", file=sys.stderr)
+                    return 1
+                _time.sleep(0.5)
+                continue
+            if not stream.ok:
+                body = stream.read().decode("utf-8", "replace")
+                print(f"error: HTTP {stream.status}: {body[:200]}", file=sys.stderr)
+                return 1
+            for event in stream.sse().events(timeout=_remaining()):
+                if event.id is not None:
+                    last_seq = int(event.id)
+                payload = _json.loads(event.data) if event.data else {}
+                if event.event == "done":
+                    state = payload.get("state", "?")
+                    print(f"job {args.job_id} finished: {state}")
+                    return 0 if state == "succeeded" else 1
+                if event.event == "evicted":
+                    break  # shed under load; reconnect from the cursor
+                print(
+                    f"  #{payload.get('seq', last_seq):<4}"
+                    f" {event.event or 'event':<18} {payload.get('payload')}"
+                )
+                sys.stdout.flush()
+            # Stream ended without a done event (worker died, eviction,
+            # or the timeout guard tripped): resume unless out of time.
+            if _timed_out():
+                print(
+                    f"timed out after {args.timeout}s waiting on job {args.job_id}",
+                    file=sys.stderr,
+                )
+                return 1
+
+
 def _cmd_jobs_watch(args: argparse.Namespace) -> int:
     """Poll a job until it reaches a terminal state, streaming its events."""
     import time as _time
 
+    if args.url:
+        return _watch_job_over_http(args)
     with _open_job_store(args) as store:
         deadline = None if args.timeout <= 0 else _time.monotonic() + args.timeout
         last_seq = 0
@@ -626,6 +717,60 @@ def _cmd_jobs_run(args: argparse.Namespace) -> int:
             print(f"queue not idle after {args.timeout}s", file=sys.stderr)
             return 1
         return 0 if stats["failed"] == 0 else 1
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over ``GET /service/telemetry``.
+
+    ``--once`` prints a single snapshot and exits (scriptable); otherwise
+    the command subscribes to the SSE feed and renders a frame per
+    snapshot, differencing successive counters into rates.  Works
+    identically against a single ``repro serve`` and a fleet router
+    (whose payload is the fan-in aggregate plus per-worker blocks).
+    """
+    import json as _json
+    import time as _time
+
+    from .errors import TransportError
+    from .fleet.transport import HttpClient
+    from .obs.monitor import render_frame
+
+    try:
+        with HttpClient(args.url, timeout=max(args.interval * 4, 30.0)) as client:
+            if args.once:
+                snapshot = client.get_json("/service/telemetry")
+                print(render_frame(snapshot))
+                return 0
+            stream = client.stream(
+                f"/service/telemetry?stream=1&interval={args.interval:g}"
+            )
+            if not stream.ok:
+                body = stream.read().decode("utf-8", "replace")
+                print(f"error: HTTP {stream.status}: {body[:200]}", file=sys.stderr)
+                return 1
+            previous: dict | None = None
+            previous_at: float | None = None
+            frames = 0
+            for event in stream.sse().events():
+                if event.event != "telemetry":
+                    continue
+                snapshot = _json.loads(event.data)
+                now = _time.monotonic()
+                elapsed = None if previous_at is None else now - previous_at
+                print(render_frame(snapshot, previous=previous, elapsed=elapsed))
+                print()
+                sys.stdout.flush()
+                previous, previous_at = snapshot, now
+                frames += 1
+                if args.count and frames >= args.count:
+                    return 0
+    except TransportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    # The feed ended server-side (shutdown): not an error for a dashboard.
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -734,6 +879,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="load a JSON policy document into the policy table at startup (implies --qos)",
     )
+    sub.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured line per request to stderr "
+        "(method path status latency_ms tenant) and count requests/latency "
+        "in the telemetry registry",
+    )
+    sub.add_argument(
+        "--access-log-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="emit every Nth access-log line (metrics still see every request)",
+    )
     # Internal fleet plumbing: the supervisor spawns each worker with these.
     sub.add_argument("--fleet-worker", default=None, help=argparse.SUPPRESS)
     sub.add_argument("--fleet-register", default=None, help=argparse.SUPPRESS)
@@ -817,8 +976,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = jobs_sub.add_parser("watch", help="stream a job's events until it reaches a terminal state")
     sub.add_argument("job_id", type=int)
-    sub.add_argument("--interval", type=float, default=0.2, help="poll interval in seconds")
+    sub.add_argument("--interval", type=float, default=0.2, help="poll interval in seconds (store mode)")
     sub.add_argument("--timeout", type=float, default=120.0, help="give up after this many seconds (<=0 waits forever)")
+    sub.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="watch over HTTP instead of the local store: subscribe to "
+        "URL/jobs/<id>/tail (a serve instance or fleet router) and resume "
+        "across stream drops via Last-Event-ID",
+    )
     sub.set_defaults(func=_cmd_jobs_watch)
 
     sub = jobs_sub.add_parser("cancel", help="cancel a queued job (or flag a running one)")
@@ -833,6 +1000,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--workers", type=int, default=1)
     sub.add_argument("--timeout", type=float, default=300.0, help="stop draining after this many seconds")
     sub.set_defaults(func=_cmd_jobs_run)
+
+    sub = subparsers.add_parser(
+        "monitor",
+        help="live terminal dashboard over a running service or fleet router",
+    )
+    sub.add_argument(
+        "--url",
+        default="http://127.0.0.1:8230",
+        help="base url of the serve instance or fleet router (default %(default)s)",
+    )
+    sub.add_argument("--interval", type=float, default=2.0, help="seconds between frames")
+    sub.add_argument("--count", type=int, default=0, help="exit after N frames (0 = run until interrupted)")
+    sub.add_argument("--once", action="store_true", help="print one snapshot and exit")
+    sub.set_defaults(func=_cmd_monitor)
     return parser
 
 

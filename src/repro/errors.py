@@ -182,6 +182,18 @@ class PolicyConflictError(QosError):
         return detail
 
 
+class ObsError(ReproError):
+    """Raised by the observability plane (repro.obs)."""
+
+
+class TailBackpressureError(ObsError):
+    """A tail subscription was refused or shed to protect the service.
+
+    Raised when the broker is at its subscriber cap (the HTTP layer maps
+    this to ``503`` + ``Retry-After``) or closed during shutdown.
+    """
+
+
 class FleetError(ReproError):
     """Raised by the multi-process worker fleet (repro.fleet)."""
 

@@ -47,8 +47,21 @@ from urllib.parse import urlencode
 
 from ..errors import FleetError, TransportError
 from ..qos import AdmissionController, PolicyStore
-from ..service.app import enforce_admission, register_policy_routes, validate_project_name
-from ..webapp.framework import HttpError, JsonResponse, Request, Response, WebApp
+from ..service.app import (
+    enforce_admission,
+    register_policy_routes,
+    request_header,
+    validate_project_name,
+)
+from ..webapp.framework import (
+    HttpError,
+    JsonResponse,
+    Request,
+    Response,
+    StreamingResponse,
+    WebApp,
+    sse_event,
+)
 from .supervisor import FleetSupervisor
 from .transport import HttpClient
 
@@ -68,7 +81,25 @@ _ADMITTED_SUBPATHS = (
     ("commit",),
     ("dataframe",),
     ("sql",),
+    ("tail",),
     ("jobs", "backfill"),
+)
+
+#: Headers that describe the router↔worker connection, not the payload;
+#: never relayed to the client (the router's own server re-frames the
+#: stream with its own chunked transfer encoding).
+_HOP_BY_HOP = frozenset(
+    {
+        "connection",
+        "keep-alive",
+        "transfer-encoding",
+        "content-length",
+        "date",
+        "server",
+        "te",
+        "trailer",
+        "upgrade",
+    }
 )
 
 
@@ -124,6 +155,8 @@ class FleetRouter:
             name = validate_project_name(segments[1])
             if tuple(segments[2:]) in _ADMITTED_SUBPATHS:
                 enforce_admission(self.admission, name, len(request.body))
+            if segments[2:] == ["tail"]:
+                return self._proxy_stream(self.supervisor.route(name), request)
             annotate = None
             if segments[2:] == ["stats"]:
                 worker_id = self.supervisor.route(name)
@@ -139,9 +172,12 @@ class FleetRouter:
             return self._proxy(self.supervisor.route(name), request, annotate=annotate)
         if segments and segments[0] == "jobs":
             try:
-                return self._proxy(self.supervisor.any_worker(), request)
+                worker_id = self.supervisor.any_worker()
             except FleetError as exc:
                 return self._unavailable(str(exc))
+            if len(segments) == 3 and segments[2] == "tail":
+                return self._proxy_stream(worker_id, request)
+            return self._proxy(worker_id, request)
         return self._control.handle(request)
 
     def close(self) -> None:
@@ -220,6 +256,69 @@ class FleetRouter:
                     return response
                 return JsonResponse(payload, status=response.status)
             return response
+
+    def _proxy_stream(self, worker_id: str, request: Request) -> Response | StreamingResponse:
+        """Relay a streaming route (an SSE tail) without buffering it.
+
+        Failover covers the *initial connect* only: once bytes are
+        flowing, a worker crash simply ends the relayed stream — the
+        subscriber reconnects (through the router, which by then routes
+        to the restarted placement) presenting its ``Last-Event-ID``,
+        and the relational backfill makes the hand-off lossless.
+        Retrying mid-stream inside the router would instead risk
+        re-framing rows the client already consumed.
+        """
+        query = urlencode(request.query)
+        url = request.path + (f"?{query}" if query else "")
+        headers: dict[str, str] = {}
+        last_id = request_header(request, "Last-Event-ID")
+        if last_id is not None:
+            headers["Last-Event-ID"] = last_id
+        deadline = time.monotonic() + self.failover_timeout
+        attempt = 0
+        while True:
+            try:
+                worker_url = self.supervisor.url_for(
+                    worker_id, wait_timeout=max(0.0, deadline - time.monotonic())
+                )
+            except FleetError as exc:
+                return self._unavailable(f"worker {worker_id!r} unavailable: {exc}")
+            try:
+                upstream = self._client_for(worker_url).stream(url, headers=headers)
+            except TransportError as exc:
+                self.supervisor.note_unreachable(worker_id)
+                now = time.monotonic()
+                if now >= deadline:
+                    return self._unavailable(f"worker {worker_id!r} unreachable: {exc}")
+                delay = min(_BACKOFF_BASE * (2**attempt), _BACKOFF_CAP)
+                delay *= 0.5 + random.random() / 2  # jitter, as in _proxy
+                attempt += 1
+                time.sleep(min(delay, max(deadline - now, 0.0)))
+                continue
+            passthrough = {
+                k: v for k, v in upstream.headers.items() if k.lower() not in _HOP_BY_HOP
+            }
+            if not upstream.ok:
+                # Upstream refused the subscription (404 unknown job, 503
+                # backpressure + Retry-After): a small buffered answer.
+                body = upstream.read()
+                return Response(
+                    body=body.decode("utf-8", "replace"),
+                    status=upstream.status,
+                    headers=passthrough,
+                )
+
+            def relay(upstream=upstream):
+                try:
+                    yield from upstream.chunks()
+                except TransportError:
+                    # Worker died mid-stream; end the relay cleanly so the
+                    # subscriber notices EOF and reconnects with its cursor.
+                    return
+
+            return StreamingResponse(
+                relay(), status=upstream.status, headers=passthrough
+            )
 
     # -------------------------------------------------------------- control
     def _build_control_app(self) -> WebApp:
@@ -329,5 +428,75 @@ class FleetRouter:
                 # own counters ARE the fleet-wide admission view.
                 payload["qos"] = self.admission.snapshot()
             return JsonResponse(payload)
+
+        def _telemetry_fanin() -> dict:
+            """One fleet-wide telemetry snapshot: counters and gauges are
+            summed across workers (they are cumulative, so sums stay
+            cumulative and consumers difference them for rates);
+            histograms stay per-worker — percentiles do not add."""
+            per_worker: dict[str, dict] = {}
+            counters: dict[str, float] = {}
+            gauges: dict[str, float] = {}
+            tail_totals = {
+                "streams": 0,
+                "subscribers": 0,
+                "subscribed_total": 0,
+                "evicted_total": 0,
+            }
+            jobs: dict | None = None
+            for view in supervisor.worker_views():
+                worker_id = view["id"]
+                if not (view["registered"] and view["alive"]):
+                    per_worker[worker_id] = {"error": "worker not registered", **view}
+                    continue
+                try:
+                    snap = self._client_for(view["url"]).get_json("/service/telemetry")
+                except TransportError as exc:
+                    per_worker[worker_id] = {"error": str(exc), **view}
+                    continue
+                per_worker[worker_id] = snap
+                for key, value in snap.get("counters", {}).items():
+                    counters[key] = counters.get(key, 0) + value
+                for key, value in snap.get("gauges", {}).items():
+                    gauges[key] = gauges.get(key, 0) + value
+                tail = snap.get("tail", {})
+                for key in tail_totals:
+                    tail_totals[key] += int(tail.get(key, 0))
+                if jobs is None:
+                    # Shared host-level job store; one worker's view covers
+                    # the fleet (same reasoning as /service/stats).
+                    jobs = snap.get("jobs")
+            payload = {
+                "role": "router",
+                "fleet": supervisor.summary(),
+                "workers": per_worker,
+                "counters": counters,
+                "gauges": gauges,
+                "tail": tail_totals,
+                "jobs": jobs or {},
+            }
+            if self.admission is not None:
+                payload["qos"] = self.admission.snapshot()
+            return payload
+
+        @app.route("/service/telemetry")
+        def service_telemetry(request: Request):
+            if (request.arg("stream") or "").lower() in ("1", "true", "yes", "sse"):
+                raw = request.arg("interval") or "2.0"
+                try:
+                    interval = float(raw)
+                except ValueError as exc:
+                    raise HttpError(400, f"interval must be a number, got {raw!r}") from exc
+                interval = min(max(interval, 0.05), 60.0)
+
+                def generate():
+                    seq = 0
+                    while True:
+                        seq += 1
+                        yield sse_event(_telemetry_fanin(), event="telemetry", id=seq)
+                        time.sleep(interval)
+
+                return StreamingResponse(generate())
+            return JsonResponse(_telemetry_fanin())
 
         return app

@@ -32,7 +32,7 @@ from typing import Any, Mapping
 from urllib.parse import urlsplit
 
 from ..errors import TransportError
-from ..webapp.framework import Response
+from ..webapp.framework import Response, SSEStream
 
 #: Connection-level failures worth one retry on a fresh socket.
 _RETRYABLE = (
@@ -124,6 +124,31 @@ class HttpClient:
                         f"{method} http://{self.netloc}{url} failed: {exc}"
                     ) from exc
 
+    def stream(
+        self, url: str, *, headers: Mapping[str, str] | None = None
+    ) -> "StreamedResponse":
+        """GET a streaming route (an SSE tail) without buffering the body.
+
+        Unlike :meth:`request`, the connection is *dedicated*: a stream
+        holds its socket for the life of the subscription, so it must not
+        poison the thread-local keep-alive connection other requests
+        reuse.  Connection failures raise :class:`TransportError`
+        immediately — resuming a broken stream is the caller's job (the
+        cursor in ``Last-Event-ID`` makes it lossless).
+        """
+        conn = http.client.HTTPConnection(self.netloc, timeout=self.timeout)
+        with self._all_lock:
+            self._all.append(conn)
+        try:
+            conn.request("GET", url, headers=dict(headers or {}))
+            raw = conn.getresponse()
+        except _RETRYABLE as exc:
+            conn.close()
+            raise TransportError(
+                f"GET http://{self.netloc}{url} failed: {exc}"
+            ) from exc
+        return StreamedResponse(conn, raw)
+
     # TestClient-compatible surface -----------------------------------------
     def get(self, url: str) -> Response:
         return self.request("GET", url)
@@ -160,3 +185,58 @@ class HttpClient:
                 f"{response.body[:200]}"
             )
         return response.json()
+
+
+class StreamedResponse:
+    """An in-flight streaming response on its own dedicated connection.
+
+    ``chunks()`` yields decoded-transfer-encoding bytes as they arrive
+    (``http.client`` strips the chunked framing; ``read1`` returns per
+    network read instead of blocking for a full buffer, which is what
+    keeps SSE latency at one round trip).  A connection failure mid-body
+    raises :class:`~repro.errors.TransportError` from ``chunks()`` —
+    stream consumers resume by reconnecting with their cursor.
+    """
+
+    def __init__(self, conn: http.client.HTTPConnection, raw: http.client.HTTPResponse):
+        self._conn = conn
+        self._raw = raw
+        self.status = raw.status
+        self.headers = {k: v for k, v in raw.getheaders()}
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def read(self) -> bytes:
+        """Drain the remaining body (for non-200s that are really buffered)."""
+        try:
+            return self._raw.read()
+        finally:
+            self.close()
+
+    def chunks(self, size: int = 8192):
+        try:
+            while True:
+                try:
+                    data = self._raw.read1(size)
+                except _RETRYABLE as exc:
+                    raise TransportError(f"stream interrupted: {exc}") from exc
+                if not data:
+                    return
+                yield data
+        finally:
+            self.close()
+
+    def sse(self) -> SSEStream:
+        """Wrap the body in an :class:`SSEStream` for event-level iteration."""
+        return SSEStream(self.chunks(), headers=self.headers, status=self.status)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "StreamedResponse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

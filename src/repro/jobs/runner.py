@@ -229,11 +229,17 @@ class JobRunner:
                 self.stats.claims += 1
                 cancel_event = threading.Event()
                 self._active[job.id] = (worker_id, cancel_event)
+                metrics = getattr(self.store, "metrics", None)
+                if metrics is not None:
+                    metrics.set("jobs.active", len(self._active))
             try:
                 self._execute(job, worker_id, cancel_event)
             finally:
                 with self._lock:
                     self._active.pop(job.id, None)
+                    metrics = getattr(self.store, "metrics", None)
+                    if metrics is not None:
+                        metrics.set("jobs.active", len(self._active))
 
     def _execute(self, job, worker_id: str, cancel_event: threading.Event) -> None:
         if job.cancel_requested:

@@ -125,6 +125,27 @@ class JobStore:
         self._claim_count = 0
         self._clock = clock
         self._owns_db = False
+        # Observability hooks, assigned post-construction by the service:
+        # ``metrics`` is a repro.obs.MetricsRegistry (duck-typed); ``on_event``
+        # is called with a job id *after* a transition's transaction commits,
+        # so a tail subscriber woken by it can already read the new event row.
+        self.metrics = None
+        self.on_event: Callable[[int], None] | None = None
+
+    def _notify(self, job_id: int) -> None:
+        """Post-commit event push; hook failures never fail the transition."""
+        if self.on_event is not None:
+            try:
+                self.on_event(job_id)
+            except Exception:  # noqa: BLE001 - observer, not participant
+                pass
+
+    def _note_queue_depth(self) -> None:
+        if self.metrics is not None:
+            row = self.db.query_one(
+                "SELECT COUNT(*) FROM jobs WHERE state = ?", (JOB_QUEUED,)
+            )
+            self.metrics.set("jobs.queue_depth", int(row[0]) if row else 0)
 
     @classmethod
     def open(cls, root: Path | str, **kwargs: Any) -> "JobStore":
@@ -175,6 +196,10 @@ class JobStore:
             )
             job_id = int(cursor.lastrowid)
             self._append_event(conn, job_id, EVENT_SUBMITTED, {"kind": kind, "project": project}, now)
+        if self.metrics is not None:
+            self.metrics.inc("jobs.submitted")
+        self._note_queue_depth()
+        self._notify(job_id)
         return self.require(job_id)
 
     # --------------------------------------------------------------- lookups
@@ -269,6 +294,10 @@ class JobStore:
             if cursor.rowcount != 1:  # pragma: no cover - CAS under the txn lock
                 return None
             self._append_event(conn, job_id, EVENT_LEASED, {"worker": worker}, now)
+        if self.metrics is not None:
+            self.metrics.inc("jobs.claimed")
+        self._note_queue_depth()
+        self._notify(job_id)
         return self.require(job_id)
 
     def _reclaim_expired(self, conn, now: float) -> None:
@@ -300,6 +329,8 @@ class JobStore:
                     (JOB_QUEUED, now, int(job_id)),
                 )
                 self._append_event(conn, int(job_id), EVENT_RECLAIMED, detail, now)
+                if self.metrics is not None:
+                    self.metrics.inc("jobs.lease_reclaims")
 
     def _finish_cancelled_queued(self, conn, now: float) -> None:
         """Transition queued rows with a pending cancel to ``cancelled``.
@@ -361,6 +392,7 @@ class JobStore:
             if cursor.rowcount != 1:
                 return False
             self._append_event(conn, job_id, EVENT_RUNNING, {"worker": worker}, now)
+        self._notify(job_id)
         return True
 
     def finish(self, job_id: int, worker: str, result: dict[str, Any] | None = None) -> bool:
@@ -385,6 +417,9 @@ class JobStore:
             if cursor.rowcount != 1:
                 return False
             self._append_event(conn, job_id, EVENT_SUCCEEDED, result or {}, now)
+        if self.metrics is not None:
+            self.metrics.inc("jobs.succeeded")
+        self._notify(job_id)
         return True
 
     def fail(self, job_id: int, worker: str, error: str) -> JobRecord | None:
@@ -427,6 +462,9 @@ class JobStore:
                     {"error": error, "attempts": attempts, "delay_seconds": delay},
                     now,
                 )
+        if self.metrics is not None:
+            self.metrics.inc("jobs.failed_attempts")
+        self._notify(job_id)
         return self.get(job_id)
 
     def release(self, job_id: int, worker: str, reason: str = "shutdown") -> bool:
@@ -448,6 +486,7 @@ class JobStore:
             if cursor.rowcount != 1:
                 return False
             self._append_event(conn, job_id, EVENT_RELEASED, {"worker": worker, "reason": reason}, now)
+        self._notify(job_id)
         return True
 
     # ---------------------------------------------------------- cancellation
@@ -481,6 +520,7 @@ class JobStore:
                 )
                 if cursor.rowcount == 1:
                     self._append_event(conn, job_id, EVENT_CANCEL_REQUESTED, {}, now)
+        self._notify(job_id)
         return self.require(job_id)
 
     def mark_cancelled(self, job_id: int, worker: str) -> bool:
@@ -496,6 +536,7 @@ class JobStore:
             if cursor.rowcount != 1:
                 return False
             self._append_event(conn, job_id, EVENT_CANCELLED, {"worker": worker}, now)
+        self._notify(job_id)
         return True
 
     def retry(self, job_id: int) -> JobRecord:
@@ -514,6 +555,8 @@ class JobStore:
                     f"job {job_id} is {job.state!r}; only failed/cancelled jobs can be retried"
                 )
             self._append_event(conn, job_id, EVENT_RETRIED, {}, now)
+        self._note_queue_depth()
+        self._notify(job_id)
         return self.require(job_id)
 
     # -------------------------------------------------------------- progress
@@ -522,6 +565,7 @@ class JobStore:
         now = self._clock()
         with self.db.transaction() as conn:
             self._append_event(conn, job_id, kind, payload or {}, now)
+        self._notify(job_id)
 
     def checkpoint_version(self, job_id: int, vid: str, detail: dict[str, Any] | None = None) -> None:
         """Durably record that one version's replay completed successfully.

@@ -1,0 +1,34 @@
+"""repro.obs — the live observability plane.
+
+Three small pieces that together replace poll-the-stats-route
+observability with push:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and ring-buffer latency histograms; threaded through the hot
+  paths (flusher, pool, pivot cache, jobs, admission) and served by
+  ``GET /service/telemetry``.
+* :mod:`repro.obs.tail` — :class:`TailBroker`, turning post-commit
+  flusher callbacks into per-project subscriber wakeups with bounded
+  fan-out and slow-consumer eviction; backs ``GET /projects/<name>/tail``.
+* :mod:`repro.obs.access` — :class:`AccessLog`, the sampled structured
+  access log behind ``repro serve --access-log``.
+
+See ``docs/observability.md`` for the wire protocol and metric catalog.
+"""
+
+from .access import AccessLog, stderr_emitter, tenant_of
+from .metrics import DEFAULT_WINDOW, Counter, Gauge, Histogram, MetricsRegistry
+from .tail import TailBroker, TailSubscription
+
+__all__ = [
+    "AccessLog",
+    "Counter",
+    "DEFAULT_WINDOW",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TailBroker",
+    "TailSubscription",
+    "stderr_emitter",
+    "tenant_of",
+]

@@ -1,0 +1,190 @@
+"""Low-overhead process metrics: counters, gauges, ring-buffer histograms.
+
+The observability plane needs numbers from the hottest paths in the system
+— the background flusher's per-transaction latency, the pool's hit/miss
+churn, admission verdicts — so the recording side must cost almost nothing
+and never block.  Three instrument kinds cover everything the telemetry
+feed serves:
+
+* :class:`Counter` — monotone float/int accumulator (``rows_written``,
+  ``admitted``).  Rates are the *reader's* job: the telemetry feed emits
+  snapshots, and consumers (the ``repro monitor`` CLI) difference
+  successive snapshots against wall-clock.
+* :class:`Gauge` — last-write-wins level (``queue_depth``).
+* :class:`Histogram` — a fixed-size ring buffer of recent observations.
+  ``observe`` is O(1) (overwrite a slot, bump two scalars); percentiles
+  (p50/p95/p99) are computed lazily at snapshot time from a copy of the
+  window, so the hot path never sorts.  The window covers the *recent*
+  distribution — exactly what a live dashboard wants — while ``count``
+  and ``sum`` stay lifetime-accurate.
+
+Instruments are created on first use and held forever (the registry is a
+bounded vocabulary of code-site names, not per-request data).  Every
+consumer takes ``metrics: MetricsRegistry | None`` and guards each record
+with ``if metrics is not None`` — a service running without the
+observability plane pays a single attribute test per would-be sample.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+#: Default histogram window: big enough that p99 over a busy second is
+#: meaningful, small enough that snapshotting (copy + sort) stays cheap.
+DEFAULT_WINDOW = 1024
+
+
+class Counter:
+    """A monotone accumulator.  ``inc`` never goes backwards."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Ring buffer of the most recent ``window`` observations.
+
+    ``observe`` overwrites the oldest slot; ``summary`` copies the filled
+    window and computes nearest-rank percentiles.  Lifetime ``count`` and
+    ``sum`` ride alongside so throughput/mean survive the window rolling.
+    """
+
+    __slots__ = ("_lock", "_buffer", "_window", "count", "sum")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"histogram window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._buffer: list[float] = [0.0] * window
+        self._window = window
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._buffer[self.count % self._window] = float(value)
+            self.count += 1
+            self.sum += value
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            filled = min(self.count, self._window)
+            window = sorted(self._buffer[:filled])
+            count, total = self.count, self.sum
+        if not window:
+            return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+        def rank(p: float) -> float:
+            return window[min(len(window) - 1, int(p * len(window)))]
+
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+            "max": window[-1],
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument table shared by every instrumented component.
+
+    One registry per service process (the :class:`~repro.service.app.
+    FlorService` owns it); ``snapshot()`` is what ``GET /service/telemetry``
+    serves, and the sequence number it carries lets SSE consumers detect a
+    restarted process (the sequence resets).
+    """
+
+    def __init__(self, *, histogram_window: int = DEFAULT_WINDOW):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._histogram_window = histogram_window
+        self.started_at = time.time()
+
+    # -------------------------------------------------------- get-or-create
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(self._histogram_window)
+            return instrument
+
+    # ----------------------------------------------------------- convenience
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time view of every instrument, JSON-ready."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
+        }

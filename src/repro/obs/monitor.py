@@ -1,0 +1,129 @@
+"""Terminal rendering for the live telemetry feed (``repro monitor``).
+
+The service (and the fleet router) emit self-contained cumulative
+snapshots — see :func:`repro.service.stats.telemetry_payload` and the
+router's fan-in.  This module turns one snapshot (plus, optionally, the
+previous one) into a compact text frame: gauges and tail state verbatim,
+counters annotated with per-second rates differenced from the previous
+frame.  Pure functions over dicts, so the renderer is testable without a
+socket in sight.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Counters surfaced first, in this order; everything else follows
+#: alphabetically.  Keeps the hot numbers (ingest and tail throughput)
+#: at a fixed position on every frame.
+_LEAD_COUNTERS = (
+    "flush.rows",
+    "flush.transactions",
+    "tail.rows",
+    "http.requests",
+    "http.errors",
+)
+
+
+def counter_rates(
+    current: dict[str, float], previous: dict[str, float] | None, elapsed: float | None
+) -> dict[str, float]:
+    """Per-second deltas between two cumulative counter snapshots.
+
+    Counters that went *backwards* (a worker restarted and its registry
+    reset) report no rate rather than a huge negative one.
+    """
+    if previous is None or not elapsed or elapsed <= 0:
+        return {}
+    rates: dict[str, float] = {}
+    for key, value in current.items():
+        delta = value - previous.get(key, 0)
+        if delta >= 0:
+            rates[key] = delta / elapsed
+    return rates
+
+
+def _ordered_counters(counters: dict[str, float]) -> list[str]:
+    lead = [key for key in _LEAD_COUNTERS if key in counters]
+    rest = sorted(key for key in counters if key not in _LEAD_COUNTERS)
+    return lead + rest
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return f"{int(value)}"
+
+
+def render_frame(
+    snapshot: dict[str, Any],
+    *,
+    previous: dict[str, Any] | None = None,
+    elapsed: float | None = None,
+) -> str:
+    """One telemetry frame as printable text.
+
+    Accepts both payload shapes: a single service's snapshot (with
+    ``histograms`` and ``uptime_seconds``) and the router's fan-in
+    (with ``role: router``, summed counters/gauges, per-worker blocks).
+    """
+    lines: list[str] = []
+    role = snapshot.get("role", "service")
+    header = f"[{role}]"
+    if "uptime_seconds" in snapshot:
+        header += f" up {snapshot['uptime_seconds']:.0f}s"
+    fleet = snapshot.get("fleet")
+    if isinstance(fleet, dict):
+        header += f" workers {fleet.get('alive', '?')}/{fleet.get('registered', '?')}"
+    if "open_shards" in snapshot:
+        header += f" shards {snapshot['open_shards']}"
+    lines.append(header)
+
+    jobs = snapshot.get("jobs") or {}
+    if jobs:
+        lines.append(
+            "jobs: " + "  ".join(f"{state}={count}" for state, count in sorted(jobs.items()))
+        )
+    tail = snapshot.get("tail") or {}
+    if tail:
+        lines.append(
+            f"tail: subscribers={tail.get('subscribers', 0)}"
+            f" streams={tail.get('streams', 0)}"
+            f" subscribed_total={tail.get('subscribed_total', 0)}"
+            f" evicted_total={tail.get('evicted_total', 0)}"
+        )
+
+    counters = snapshot.get("counters") or {}
+    rates = counter_rates(
+        counters, (previous or {}).get("counters"), elapsed
+    )
+    for key in _ordered_counters(counters):
+        line = f"  {key:<24} {_format_number(counters[key]):>12}"
+        if key in rates:
+            line += f"  ({rates[key]:+.1f}/s)"
+        lines.append(line)
+
+    gauges = snapshot.get("gauges") or {}
+    for key in sorted(gauges):
+        lines.append(f"  {key:<24} {_format_number(gauges[key]):>12}  (gauge)")
+
+    histograms = snapshot.get("histograms") or {}
+    for key in sorted(histograms):
+        h = histograms[key]
+        lines.append(
+            f"  {key:<24} p50={h.get('p50', 0):.2f} p95={h.get('p95', 0):.2f}"
+            f" p99={h.get('p99', 0):.2f} (n={h.get('count', 0)})"
+        )
+
+    workers = snapshot.get("workers") or {}
+    for worker_id in sorted(workers):
+        block = workers[worker_id]
+        if "error" in block:
+            lines.append(f"  worker {worker_id}: ERROR {block['error']}")
+        else:
+            w_tail = block.get("tail") or {}
+            lines.append(
+                f"  worker {worker_id}: shards={block.get('open_shards', '?')}"
+                f" subscribers={w_tail.get('subscribers', 0)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""TailBroker: turn post-commit write notifications into subscriber wakeups.
+
+The tail routes never push rows through the broker — rows live in the
+relational store, whose ``logs.seq`` (and ``job_events.seq``) columns are
+already a total order with a durable cursor.  What a subscriber needs from
+the write path is only a *wakeup*: "stream X has new committed rows".  The
+broker holds that fan-out:
+
+* :meth:`TailBroker.publish` is called from the flusher's ``on_written``
+  hook (post-commit, on the flusher thread) — it must never block, so it
+  only bumps a per-stream row counter and notifies a condition variable.
+* :meth:`TailBroker.subscribe` registers a cursor-carrying subscription;
+  the SSE generator loop alternates "fetch rows past my cursor from the
+  store" with :meth:`TailSubscription.wait`.
+* **Slow-consumer eviction**: each subscription's lag is the stream's
+  published-row counter minus what the consumer has acknowledged via
+  :meth:`TailSubscription.advance`.  A subscriber whose lag exceeds
+  ``max_lag`` — a client whose socket stopped draining while ingest keeps
+  committing — is marked evicted at publish time; its generator emits one
+  final ``event: evicted`` frame and ends, and the client reconnects with
+  its ``Last-Event-ID`` to backfill from the store.  Eviction therefore
+  never loses data, it only sheds the *connection*.
+* **Bounded subscribers**: past ``max_subscribers`` the broker refuses new
+  subscriptions (:class:`~repro.errors.TailBackpressureError` → the route
+  answers 503 + Retry-After) instead of growing without bound.
+
+Everything is in-process and lock-cheap: one mutex, held for dictionary
+and counter updates only — never across a fetch or a socket write.
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import count
+from typing import Any, Iterator
+
+from ..errors import TailBackpressureError
+
+_subscription_ids = count(1)
+
+
+class TailSubscription:
+    """One subscriber's cursor into one stream."""
+
+    def __init__(self, broker: "TailBroker", stream: str, cursor: int, baseline: float):
+        self.id = next(_subscription_ids)
+        self.broker = broker
+        self.stream = stream
+        #: The highest store sequence number already delivered; the SSE
+        #: generator fetches rows with ``seq > cursor`` and advances it.
+        self.cursor = cursor
+        #: Stream row-counter value at subscribe time (rows published
+        #: before we arrived can never count as our lag).
+        self.baseline = baseline
+        self.delivered = 0.0
+        self.evicted: str | None = None
+        self.closed = False
+        self._cond = threading.Condition()
+        self._signal = False
+
+    # ------------------------------------------------------------- consumer
+    def wait(self, timeout: float) -> bool:
+        """Block until new data is published (or ``timeout``); True if woken."""
+        with self._cond:
+            if not self._signal:
+                self._cond.wait(timeout)
+            woken, self._signal = self._signal, False
+            return woken
+
+    def advance(self, cursor: int, rows: int) -> None:
+        """Record that ``rows`` rows up to ``cursor`` reached the consumer."""
+        self.cursor = cursor
+        with self._cond:
+            self.delivered += rows
+
+    def lag(self) -> float:
+        """Published-but-undelivered rows (the eviction trigger)."""
+        published = self.broker.published(self.stream)
+        with self._cond:
+            return max(0.0, published - self.baseline - self.delivered)
+
+    # ------------------------------------------------------------- producer
+    def notify(self) -> None:
+        with self._cond:
+            self._signal = True
+            self._cond.notify_all()
+
+    def evict(self, reason: str) -> None:
+        with self._cond:
+            if self.evicted is None:
+                self.evicted = reason
+            self._signal = True
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        self.broker.unsubscribe(self)
+
+
+class TailBroker:
+    """Per-stream subscriber registry with bounded fan-out.
+
+    Parameters
+    ----------
+    max_subscribers:
+        Hard cap on concurrent subscriptions across all streams; beyond
+        it :meth:`subscribe` raises :class:`TailBackpressureError`.
+    max_lag:
+        Rows a subscriber may fall behind the stream's published counter
+        before it is evicted (the slow-consumer bound).
+    """
+
+    def __init__(self, *, max_subscribers: int = 1024, max_lag: int = 100_000):
+        if max_subscribers < 1:
+            raise ValueError(f"max_subscribers must be >= 1, got {max_subscribers}")
+        if max_lag < 1:
+            raise ValueError(f"max_lag must be >= 1, got {max_lag}")
+        self.max_subscribers = max_subscribers
+        self.max_lag = max_lag
+        self._lock = threading.Lock()
+        self._streams: dict[str, list[TailSubscription]] = {}
+        self._published: dict[str, float] = {}
+        self._closed = False
+        self.evicted_total = 0
+        self.subscribed_total = 0
+
+    # ----------------------------------------------------------- subscribers
+    def subscribe(self, stream: str, cursor: int = 0) -> TailSubscription:
+        with self._lock:
+            if self._closed:
+                raise TailBackpressureError("tail broker is closed")
+            if sum(len(subs) for subs in self._streams.values()) >= self.max_subscribers:
+                raise TailBackpressureError(
+                    f"too many tail subscribers (max {self.max_subscribers})"
+                )
+            subscription = TailSubscription(
+                self, stream, cursor, self._published.get(stream, 0.0)
+            )
+            self._streams.setdefault(stream, []).append(subscription)
+            self.subscribed_total += 1
+            return subscription
+
+    def unsubscribe(self, subscription: TailSubscription) -> None:
+        with self._lock:
+            subscription.closed = True
+            subs = self._streams.get(subscription.stream)
+            if subs is not None:
+                try:
+                    subs.remove(subscription)
+                except ValueError:
+                    pass
+                if not subs:
+                    self._streams.pop(subscription.stream, None)
+
+    # -------------------------------------------------------------- producer
+    def publish(self, stream: str, rows: int = 1) -> int:
+        """Post-commit notification: ``rows`` new rows are readable.
+
+        Called from writer threads (the background flusher's ``on_written``
+        hook), so it does bounded work under the lock and never touches a
+        socket or the store.  Returns the number of subscribers woken.
+        Publishing also runs the slow-consumer check: any subscription
+        whose lag now exceeds ``max_lag`` is evicted instead of woken.
+        """
+        with self._lock:
+            self._published[stream] = self._published.get(stream, 0.0) + rows
+            subs = list(self._streams.get(stream, ()))
+        woken = 0
+        for subscription in subs:
+            if subscription.evicted is not None:
+                continue
+            if subscription.lag() > self.max_lag:
+                subscription.evict(f"lagging more than {self.max_lag} rows")
+                with self._lock:
+                    self.evicted_total += 1
+                continue
+            subscription.notify()
+            woken += 1
+        return woken
+
+    def published(self, stream: str) -> float:
+        with self._lock:
+            return self._published.get(stream, 0.0)
+
+    # ------------------------------------------------------------ lifecycle
+    def subscriptions(self, stream: str | None = None) -> Iterator[TailSubscription]:
+        with self._lock:
+            if stream is not None:
+                subs = list(self._streams.get(stream, ()))
+            else:
+                subs = [s for group in self._streams.values() for s in group]
+        return iter(subs)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            per_stream = {name: len(subs) for name, subs in sorted(self._streams.items())}
+            return {
+                "streams": len(per_stream),
+                "subscribers": sum(per_stream.values()),
+                "subscribed_total": self.subscribed_total,
+                "evicted_total": self.evicted_total,
+                "max_subscribers": self.max_subscribers,
+                "max_lag": self.max_lag,
+                "per_stream": per_stream,
+            }
+
+    def close(self) -> None:
+        """Evict every subscriber (their generators end) and refuse new ones."""
+        with self._lock:
+            self._closed = True
+            subs = [s for group in self._streams.values() for s in group]
+            self._streams.clear()
+        for subscription in subs:
+            subscription.evict("service shutting down")

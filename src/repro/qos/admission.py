@@ -115,6 +115,9 @@ class AdmissionController:
         self._generation = policies.generation()
         self._next_refresh = clock() + self.refresh_interval
         self._dirty = False
+        # Optional repro.obs.MetricsRegistry (duck-typed), assigned by the
+        # service so admission verdicts show up in /service/telemetry.
+        self.metrics = None
         policies.on_change = self._mark_dirty
 
     def _mark_dirty(self) -> None:
@@ -136,6 +139,8 @@ class AdmissionController:
             rule = state.resolution.rule
             if rule.byte_quota is not None and nbytes > rule.byte_quota:
                 state.rejected += 1
+                if self.metrics is not None:
+                    self.metrics.inc("qos.rejected")
                 return AdmissionDecision(
                     allowed=False,
                     retry_after=rule.window_seconds,
@@ -147,16 +152,22 @@ class AdmissionController:
             # silently eat byte quota (and vice versa).
             if state.bucket is not None and state.bucket.level < 1.0:
                 state.throttled += 1
+                if self.metrics is not None:
+                    self.metrics.inc("qos.throttled")
                 wait = max((1.0 - state.bucket.level) / state.bucket.rate, 1e-9)
                 return AdmissionDecision(False, retry_after=wait, reason="rate")
             if state.quota is not None and nbytes > 0:
                 wait = state.quota.try_consume(nbytes)
                 if wait > 0.0:
                     state.throttled += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("qos.throttled")
                     return AdmissionDecision(False, retry_after=wait, reason="quota")
             if state.bucket is not None:
                 state.bucket.try_take(1.0)
             state.admitted += 1
+            if self.metrics is not None:
+                self.metrics.inc("qos.admitted")
             return ALLOWED
 
     def resolve(self, tenant: str) -> Resolution:

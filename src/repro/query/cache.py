@@ -126,6 +126,10 @@ class PivotViewCache:
         self._generations: dict[str, int] = {}
         self._lock = threading.RLock()
         self.stats = CacheStats()
+        # Optional repro.obs.MetricsRegistry, assigned post-construction by
+        # the service pool; duck-typed so the query layer stays free of any
+        # observability dependency.
+        self.metrics = None
 
     # ------------------------------------------------------------ freshness
     def generation(self, projid: str) -> int:
@@ -162,6 +166,10 @@ class PivotViewCache:
         with self._lock:
             return len(self._entries)
 
+    def _note(self, tier: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"cache.{tier}")
+
     # --------------------------------------------------------------- lookup
     def dataframe(self, db: RelationalStore, projid: str, names: Sequence[str]) -> DataFrame:
         """The pivoted view of ``names``, served from the freshest cache tier.
@@ -188,6 +196,7 @@ class PivotViewCache:
                 self._entries.move_to_end(key)
                 if entry.generation == generation and entry.db_version == db_version:
                     self.stats.fast_hits += 1
+                    self._note("fast_hits")
                     return self._frame_for(entry, ordered)
                 current_seq = log_watermark(db, projid)
                 current_loop = loop_watermark(db, projid)
@@ -195,6 +204,7 @@ class PivotViewCache:
                     entry.generation = generation
                     entry.db_version = db_version
                     self.stats.warm_hits += 1
+                    self._note("warm_hits")
                     return self._frame_for(entry, ordered)
                 self._refresh(db, entry, current_seq, current_loop)
                 entry.generation = generation
@@ -204,6 +214,7 @@ class PivotViewCache:
                 # the watermarks again instead of fast-hitting past it.
                 entry.db_version = db_version
                 self.stats.incremental_refreshes += 1
+                self._note("incremental_refreshes")
                 return self._frame_for(entry, ordered)
             entry = self._cold_build(db, projid, key[1], generation)
             entry.db_version = db_version
@@ -212,6 +223,7 @@ class PivotViewCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
             self.stats.cold_builds += 1
+            self._note("cold_builds")
             return self._frame_for(entry, ordered)
 
     # ---------------------------------------------------------- maintenance

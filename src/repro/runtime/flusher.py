@@ -133,6 +133,11 @@ class BackgroundFlusher:
         self.retry_backoff = retry_backoff
         self.name = name
         self.stats = FlushStats()
+        # Optional observability hook (repro.obs.MetricsRegistry); assigned
+        # post-construction by whoever owns a registry (the service's pool).
+        # Duck-typed rather than imported so the recording runtime carries no
+        # dependency on the observability plane.
+        self.metrics = None
         self._cond = threading.Condition()
         self._queue: "deque[_Batch]" = deque()
         self._pending_rows = 0  # queued + in-flight rows (memory bound)
@@ -269,6 +274,11 @@ class BackgroundFlusher:
                                 self.stats.dropped_rows += sum(
                                     batch[3] for batch in batches
                                 )
+                            if self.metrics is not None:
+                                self.metrics.inc(
+                                    "flush.dropped_rows",
+                                    sum(batch[3] for batch in batches),
+                                )
                             break
                         self.stats.write_retries += 1
                         time.sleep(self.retry_backoff)
@@ -282,6 +292,7 @@ class BackgroundFlusher:
         log_rows = [row for batch in batches for row in batch[0]]
         loop_rows = [row for batch in batches for row in batch[1]]
         if log_rows or loop_rows:
+            started = time.perf_counter()
             with self.db.transaction() as connection:
                 if log_rows:
                     connection.executemany(INSERT_LOG_SQL, log_rows)
@@ -290,6 +301,12 @@ class BackgroundFlusher:
             self.stats.transactions += 1
             self.stats.written_rows += len(log_rows) + len(loop_rows)
             self.stats.max_coalesced_batches = max(self.stats.max_coalesced_batches, len(batches))
+            metrics = self.metrics
+            if metrics is not None:
+                metrics.observe("flush.ms", (time.perf_counter() - started) * 1000.0)
+                metrics.inc("flush.rows", len(log_rows) + len(loop_rows))
+                metrics.inc("flush.transactions")
+                metrics.set("flush.pending_rows", self.pending_rows)
         # Every batch's callback runs even if an earlier one raised: a skipped
         # callback is a skipped query-cache invalidation for rows that *did*
         # commit, which would serve stale views indefinitely.  The first

@@ -16,6 +16,14 @@ Routes (all JSON; ``<name>`` is a tenant/project name):
 * ``GET /projects/<name>/sql?q=SELECT...[&names=a,b]`` — read-only SQL via
   :func:`repro.relational.sql.run_sql`; anything but SELECT/WITH is a 400.
 * ``GET /projects/<name>/stats`` — per-shard row counts and queue stats.
+* ``GET /projects/<name>/tail`` — the live observability plane's tenant
+  stream: committed log rows as server-sent events, resumable via
+  ``Last-Event-ID``/``?since_seq=`` (see :mod:`repro.service.streams` and
+  docs/observability.md).
+* ``GET /service/telemetry`` — the metrics registry as one JSON snapshot,
+  or a periodic SSE feed with ``?stream=1``.
+* ``GET /jobs/<id>/tail`` — a job's event trail as SSE, ending with a
+  ``done`` event at a terminal state (``repro jobs watch`` consumes it).
 * ``GET /service/stats`` and ``GET /healthz`` — pool-level introspection.
   When the process runs as a fleet worker (``repro serve --workers N``
   spawns it with a :class:`~repro.fleet.worker.WorkerAgent`), the stats
@@ -82,11 +90,20 @@ from ..errors import (
     ReproError,
 )
 from ..jobs import JOB_KINDS, JOBS_DB_FILENAME, KIND_BACKFILL, JobStore
+from ..obs import MetricsRegistry, TailBroker
 from ..qos import AdmissionController, PolicyStore, rule_from_payload
 from ..relational.records import JOB_STATES, LogRecord, LoopRecord
 from ..relational.schema import TABLES
 from ..webapp.framework import HttpError, JsonResponse, Request, WebApp
 from .pool import SERVICE_FILENAME, DatabasePool, ProjectShard
+from .stats import service_stats_payload, shard_stats_payload, telemetry_payload
+from .streams import (
+    DEFAULT_KEEPALIVE,
+    clamp_keepalive,
+    job_tail_response,
+    project_tail_response,
+    telemetry_stream_response,
+)
 
 #: Tenant names must be plain path-safe tokens (no separators, no ``..``).
 _PROJECT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -144,12 +161,23 @@ class FlorService:
         qos: bool = False,
         qos_policy_file: Path | str | None = None,
         admission_refresh: float = 2.0,
+        tail_max_subscribers: int = 512,
+        tail_max_lag: int = 100_000,
     ):
         self.root = Path(root)
         self.flush_size = flush_size
         self.flush_interval = flush_interval
         self.flush_mode = flush_mode
         self.replicas = replicas
+        #: The observability plane: one metrics registry and one tail
+        #: broker per service process.  Hot paths receive the registry
+        #: (the pool hands it to each shard's flusher and pivot cache) and
+        #: the pool's post-commit ``on_ingest`` hook feeds the broker, so
+        #: a tail subscriber woken by a publish can already read the rows.
+        self.metrics = MetricsRegistry()
+        self.tail = TailBroker(
+            max_subscribers=tail_max_subscribers, max_lag=tail_max_lag
+        )
         self.pool = DatabasePool(
             self.root,
             capacity=pool_capacity,
@@ -160,6 +188,8 @@ class FlorService:
             replicas=replicas,
             replica_staleness=replica_staleness,
             shard_factory=shard_factory,
+            metrics=self.metrics,
+            on_ingest=self._publish_ingest,
         )
         self._job_store = job_store
         self._owns_job_store = job_store is None
@@ -180,6 +210,7 @@ class FlorService:
             self.admission = AdmissionController(
                 self.policies, refresh_interval=admission_refresh
             )
+            self.admission.metrics = self.metrics
         self._app: WebApp | None = None
         #: Set by the CLI when this service runs as one worker of a fleet
         #: (:mod:`repro.fleet`); ``/service/stats`` then carries the worker
@@ -187,6 +218,14 @@ class FlorService:
         #: process.  Duck-typed (``id``/``info()``) to keep the service
         #: layer import-free of the fleet package.
         self.worker_agent = None
+
+    def _publish_ingest(self, name: str, count: int) -> None:
+        """Pool post-commit hook → tail wakeups for the tenant's stream."""
+        self.tail.publish(f"project:{name}", count)
+
+    def _publish_job_event(self, job_id: int) -> None:
+        """Job-store post-commit hook → wakeups for the job's tail stream."""
+        self.tail.publish(f"job:{job_id}")
 
     def project_exists(self, name: str) -> bool:
         """Whether ``name`` is an open shard or has a ``.flor`` home on disk."""
@@ -201,6 +240,9 @@ class FlorService:
         with self._jobs_lock:
             if self._job_store is None:
                 self._job_store = JobStore.open(self.root)
+            if self._job_store.metrics is None:
+                self._job_store.metrics = self.metrics
+                self._job_store.on_event = self._publish_job_event
             return self._job_store
 
     @property
@@ -222,6 +264,7 @@ class FlorService:
 
     def close(self) -> None:
         """Flush and close every open shard (and the job store, if opened)."""
+        self.tail.close()
         try:
             self.pool.close()
         finally:
@@ -381,6 +424,50 @@ def _int_field(item: dict[str, Any], key: str, default: int = 0) -> int:
         raise HttpError(400, f"{key!r} must be an integer, got {value!r}") from exc
 
 
+def _float_arg(request: Request, name: str, default: float, *, lo: float, hi: float) -> float:
+    raw = request.arg(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise HttpError(400, f"{name!r} must be a number, got {raw!r}") from exc
+    return min(max(value, lo), hi)
+
+
+def request_header(request: Request, name: str) -> str | None:
+    """Case-insensitive header lookup (HTTP headers arrive as sent)."""
+    target = name.lower()
+    for key, value in request.headers.items():
+        if key.lower() == target:
+            return value
+    return None
+
+
+def tail_cursor(request: Request) -> int:
+    """The resume cursor of a tail request.
+
+    The SSE-standard ``Last-Event-ID`` header (what a reconnecting
+    ``EventSource`` presents automatically) wins over the ``since_seq``
+    query parameter (the explicit form for curl and the CLI); both name
+    the last sequence number already delivered, so the stream resumes
+    strictly after it.
+    """
+    raw = request_header(request, "Last-Event-ID")
+    if raw is None:
+        raw = request.arg("since_seq") or "0"
+    try:
+        return max(0, int(raw))
+    except ValueError as exc:
+        raise HttpError(400, f"tail cursor must be an integer, got {raw!r}") from exc
+
+
+def _keepalive_arg(request: Request) -> float:
+    return clamp_keepalive(
+        _float_arg(request, "keepalive", DEFAULT_KEEPALIVE, lo=0.01, hi=600.0)
+    )
+
+
 def _build_log_records(
     shard: ProjectShard, payload: dict[str, Any]
 ) -> list[LogRecord]:
@@ -453,27 +540,14 @@ def create_app(service: FlorService) -> WebApp:
 
     @app.route("/service/stats")
     def service_stats(_request: Request):
-        payload = {
-            "open_shards": pool.open_shards(),
-            "capacity": pool.capacity,
-            "pool": pool.stats.as_dict(),
-            "flush_size": service.flush_size,
-            "flush_interval": service.flush_interval,
-            "replicas": service.replicas,
-            "jobs": service.job_counts(),
-        }
-        if service.admission is not None:
-            payload["qos"] = service.admission.snapshot()
-        agent = service.worker_agent
-        if agent is not None:
-            # Fleet identity: which process this is, how many shards it
-            # currently owns handles for, and how long since the router
-            # last acknowledged its heartbeat.
-            payload["worker"] = {
-                **agent.info(),
-                "owned_shards": len(pool),
-            }
-        return JsonResponse(payload)
+        return JsonResponse(service_stats_payload(service))
+
+    @app.route("/service/telemetry")
+    def service_telemetry(request: Request):
+        if request.arg("stream") in ("1", "true", "yes", "sse"):
+            interval = _float_arg(request, "interval", 2.0, lo=0.05, hi=60.0)
+            return telemetry_stream_response(service, interval=interval)
+        return JsonResponse(telemetry_payload(service))
 
     register_policy_routes(app, lambda: service.policies, lambda: service.admission)
 
@@ -623,6 +697,18 @@ def create_app(service: FlorService) -> WebApp:
                 {"columns": frame.columns, "records": frame.to_records(), "rows": len(frame)}
             )
 
+    @app.route("/projects/<name>/tail")
+    def project_tail(request: Request, name: str):
+        """Live SSE tail of a tenant's committed log rows (resumable)."""
+        name = _existing(name)
+        enforce_admission(service.admission, name)
+        return project_tail_response(
+            service,
+            name,
+            cursor=tail_cursor(request),
+            keepalive=_keepalive_arg(request),
+        )
+
     # ----------------------------------------------------------------- jobs
     def _job_id(raw: str) -> int:
         try:
@@ -718,6 +804,17 @@ def create_app(service: FlorService) -> WebApp:
             }
         )
 
+    @app.route("/jobs/<job_id>/tail")
+    def job_tail(request: Request, job_id: str):
+        """Live SSE tail of a job's event trail, ending with ``done``."""
+        job = _required_job(job_id)
+        return job_tail_response(
+            service,
+            job.id,
+            cursor=tail_cursor(request),
+            keepalive=_keepalive_arg(request),
+        )
+
     @app.route("/jobs/<job_id>/cancel", methods=("POST",))
     def cancel_job(_request: Request, job_id: str):
         job = _required_job(job_id)
@@ -743,38 +840,7 @@ def create_app(service: FlorService) -> WebApp:
                 table: shard.session.db.count(table) for table in TABLES if table != "meta"
             }
             return JsonResponse(
-                {
-                    "project": shard.session.projid,
-                    "tables": tables,
-                    # Durability introspection: dropped_rows_total is the
-                    # tenant's monotone (per service process) count of
-                    # acknowledged rows its writers shed; a client that sees
-                    # it unchanged across a primary read knows no acked row
-                    # was dropped in between (the chaos harness's seal
-                    # protocol; see docs/testing.md).  The incarnation
-                    # identifies the live shard handle, whose own flusher
-                    # counters reset on reopen.
-                    "incarnation": shard.incarnation,
-                    "dropped_rows_total": pool.dropped_rows_total(name),
-                    "pending": shard.queue.pending if shard.queue else 0,
-                    "ingest": shard.queue.stats.as_dict() if shard.queue else {},
-                    "flusher": (
-                        shard.session.flusher.stats.as_dict()
-                        if shard.session.flusher is not None
-                        else {}
-                    ),
-                    "qos": (
-                        service.admission.snapshot(shard.session.projid)
-                        if service.admission is not None
-                        else None
-                    ),
-                    "query_cache": shard.session.query.stats.as_dict(),
-                    "replicas": (
-                        shard.replicas.replicated.stats.as_dict()
-                        if shard.replicas is not None
-                        else None
-                    ),
-                }
+                {"tables": tables, **shard_stats_payload(service, shard)}
             )
 
     return app

@@ -193,6 +193,16 @@ class DatabasePool:
     shard_factory:
         ``(name) -> ProjectShard`` hook replacing the default construction
         entirely (mainly for tests).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  The pool records its
+        own hit/miss/evict churn and hands the registry to each shard's
+        flusher so flush latency aggregates across tenants.
+    on_ingest:
+        Optional ``(tenant, rows) -> None`` hook, invoked after a shard's
+        ingestion batch *commits* (piggybacking on the flusher's
+        ``on_written`` ordering).  The service layer points this at its
+        :class:`~repro.obs.TailBroker` so tail subscribers wake only for
+        rows a backfill query can already see.
     """
 
     BACKENDS = ("sqlite", "memory")
@@ -209,6 +219,8 @@ class DatabasePool:
         replicas: int = 0,
         replica_staleness: float = 0.25,
         shard_factory: Callable[[str], ProjectShard] | None = None,
+        metrics=None,
+        on_ingest: Callable[[str, int], None] | None = None,
     ):
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
@@ -245,6 +257,14 @@ class DatabasePool:
         self._lock = threading.RLock()
         self._ever_opened: set[str] = set()
         self.stats = PoolStats()
+        self.metrics = metrics
+        self.on_ingest = on_ingest
+        # Resolve the hot-path counters once; get() runs per request and
+        # should not pay a registry lookup per hit.
+        self._m_hits = metrics.counter("pool.hits") if metrics is not None else None
+        self._m_misses = metrics.counter("pool.misses") if metrics is not None else None
+        self._m_evictions = metrics.counter("pool.evictions") if metrics is not None else None
+        self._m_dropped = metrics.counter("pool.dropped_rows") if metrics is not None else None
 
     def _default_factory(self, name: str) -> ProjectShard:
         config = ProjectConfig(self.root / name, name)
@@ -278,11 +298,20 @@ class DatabasePool:
         # on_written hook guarantees.  The engine is resolved here, once,
         # so the callback never races its lazy construction.
         engine = session.query
+        if self.metrics is not None:
+            session.flusher.metrics = self.metrics
+            engine.cache.metrics = self.metrics
+
+        def _on_flush(count: int, _name: str = name, _engine=engine) -> None:
+            _engine.note_write()
+            if self.on_ingest is not None:
+                self.on_ingest(_name, count)
+
         queue = IngestionQueue(
             session.db,
             flush_size=self.flush_size,
             flush_interval=self.flush_interval,
-            on_flush=lambda _count: engine.note_write(),
+            on_flush=_on_flush,
             flusher=session.flusher,
         )
         shard_replicas = None
@@ -301,12 +330,16 @@ class DatabasePool:
                 if shard is not None:
                     self._shards.move_to_end(name)
                     self.stats.hits += 1
+                    if self._m_hits is not None:
+                        self._m_hits.inc()
                     return shard
                 pending = self._building.get(name) or self._closing.get(name)
                 if pending is None:
                     opening = threading.Event()
                     self._building[name] = opening
                     self.stats.misses += 1
+                    if self._m_misses is not None:
+                        self._m_misses.inc()
                     if name in self._ever_opened:
                         self.stats.reopens += 1
                     self._ever_opened.add(name)
@@ -332,6 +365,8 @@ class DatabasePool:
             while len(self._shards) > self.capacity:
                 cold_name, cold = self._shards.popitem(last=False)
                 self.stats.evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
                 self._closing[cold_name] = threading.Event()
                 evicted.append(cold)
         opening.set()
@@ -374,6 +409,8 @@ class DatabasePool:
             self._dropped_banked[shard.name] = (
                 self._dropped_banked.get(shard.name, 0) + flusher.stats.dropped_rows
             )
+            if self._m_dropped is not None:
+                self._m_dropped.inc(flusher.stats.dropped_rows)
 
     def dropped_rows_total(self, name: str) -> int:
         """Rows dropped by this tenant's writers over the pool's lifetime.

@@ -26,7 +26,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
-from ..webapp.framework import Request, Response, WebApp
+from ..webapp.framework import Request, Response, StreamingResponse, WebApp
 
 
 def _handler_class(app: WebApp, quiet: bool) -> type[BaseHTTPRequestHandler]:
@@ -54,6 +54,9 @@ def _handler_class(app: WebApp, quiet: bool) -> type[BaseHTTPRequestHandler]:
                     status=500,
                     headers={"Content-Type": "application/json"},
                 )
+            if isinstance(response, StreamingResponse):
+                self._send_stream(response)
+                return
             payload = response.body.encode("utf-8")
             self.send_response(response.status)
             for key, value in response.headers.items():
@@ -61,6 +64,39 @@ def _handler_class(app: WebApp, quiet: bool) -> type[BaseHTTPRequestHandler]:
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
             self.wfile.write(payload)
+
+        def _send_stream(self, response: StreamingResponse) -> None:
+            """Write an iterator body with chunked transfer encoding.
+
+            Each chunk is flushed as soon as the handler yields it — that
+            is the entire point of a streaming response: an SSE tail event
+            reaches the subscriber the moment its row commits, not when
+            the (never-ending) body completes.  A client that disconnects
+            surfaces as a broken pipe on write; the handler closes the
+            body iterator (releasing its tail subscription) and drops the
+            connection instead of killing the worker thread.
+            """
+            self.send_response(response.status)
+            for key, value in response.headers.items():
+                self.send_header(key, value)
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            try:
+                for chunk in response.chunks:
+                    data = chunk.encode("utf-8") if isinstance(chunk, str) else chunk
+                    if not data:
+                        continue
+                    self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+                    self.wfile.flush()
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionError, TimeoutError, OSError):
+                # Subscriber went away mid-stream; nothing to answer.
+                self.close_connection = True
+            except Exception:  # noqa: BLE001 - stream already started; can
+                # only terminate it (the status line is long gone).
+                self.close_connection = True
+            finally:
+                response.close()
 
         do_GET = _dispatch
         do_POST = _dispatch

@@ -1,0 +1,83 @@
+"""Unit tests for the access-log wrapper: timing, sampling, tenant parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import AccessLog, MetricsRegistry, tenant_of
+from repro.webapp.framework import JsonResponse, Request, Response
+
+
+class _App:
+    def __init__(self, status: int = 200, boom: Exception | None = None):
+        self.status = status
+        self.boom = boom
+
+    def handle(self, request: Request) -> Response:
+        if self.boom is not None:
+            raise self.boom
+        return JsonResponse({"ok": True}, status=self.status)
+
+
+def _get(path: str) -> Request:
+    return Request("GET", path)
+
+
+class TestTenantOf:
+    def test_project_paths_yield_the_tenant(self):
+        assert tenant_of("/projects/alpha/logs") == "alpha"
+        assert tenant_of("/projects/alpha") == "alpha"
+
+    def test_everything_else_is_a_dash(self):
+        assert tenant_of("/service/stats") == "-"
+        assert tenant_of("/") == "-"
+        assert tenant_of("/projects/") == "-"
+
+
+class TestAccessLog:
+    def test_emits_structured_line(self):
+        lines: list[str] = []
+        wrapped = AccessLog(_App(), emit=lines.append)
+        wrapped.handle(_get("/projects/alpha/stats"))
+        assert len(lines) == 1
+        method, path, status, latency, tenant = lines[0].split(" ")
+        assert (method, path, status, tenant) == ("GET", "/projects/alpha/stats", "200", "alpha")
+        assert float(latency) >= 0.0
+
+    def test_metrics_count_requests_and_latency(self):
+        registry = MetricsRegistry()
+        wrapped = AccessLog(_App(), registry)
+        wrapped.handle(_get("/x"))
+        wrapped.handle(_get("/y"))
+        snap = registry.snapshot()
+        assert snap["counters"]["http.requests"] == 2.0
+        assert "http.errors" not in snap["counters"]
+        assert snap["histograms"]["http.request_ms"]["count"] == 2
+
+    def test_handler_exception_counts_as_500_and_reraises(self):
+        registry = MetricsRegistry()
+        lines: list[str] = []
+        wrapped = AccessLog(_App(boom=RuntimeError("x")), registry, emit=lines.append)
+        with pytest.raises(RuntimeError):
+            wrapped.handle(_get("/projects/beta/sql"))
+        assert registry.snapshot()["counters"]["http.errors"] == 1.0
+        assert " 500 " in lines[0]
+
+    def test_4xx_responses_are_not_errors(self):
+        registry = MetricsRegistry()
+        AccessLog(_App(status=404), registry).handle(_get("/nope"))
+        assert "http.errors" not in registry.snapshot()["counters"]
+
+    def test_sampling_is_deterministic_every_nth(self):
+        lines: list[str] = []
+        registry = MetricsRegistry()
+        wrapped = AccessLog(_App(), registry, emit=lines.append, sample=3)
+        for i in range(7):
+            wrapped.handle(_get(f"/r{i}"))
+        # Requests 1, 4, 7 are emitted; metrics see all seven.
+        assert [line.split(" ")[1] for line in lines] == ["/r0", "/r3", "/r6"]
+        assert registry.snapshot()["counters"]["http.requests"] == 7.0
+
+    def test_sample_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AccessLog(_App(), sample=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3.0
+
+    def test_add_is_relative(self):
+        gauge = Gauge()
+        gauge.add(2)
+        gauge.add(-5)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_percentiles_over_small_window(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        snap = histogram.summary()
+        assert snap["count"] == 100
+        assert snap["sum"] == pytest.approx(5050.0)
+        assert snap["max"] == 100.0
+        assert 45.0 <= snap["p50"] <= 55.0
+        assert 90.0 <= snap["p95"] <= 100.0
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = Histogram().summary()
+        assert snap == {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_ring_buffer_keeps_lifetime_count_past_the_window(self):
+        histogram = Histogram(window=8)
+        for value in range(100):
+            histogram.observe(float(value))
+        snap = histogram.summary()
+        assert snap["count"] == 100  # lifetime, not window
+        # The window only holds the most recent 8 observations.
+        assert snap["p50"] >= 92.0
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            Histogram(window=0)
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_created_on_first_use_and_reused(self):
+        registry = MetricsRegistry()
+        registry.inc("a.rows", 2)
+        registry.inc("a.rows", 3)
+        registry.set("a.depth", 9)
+        registry.observe("a.ms", 1.5)
+        assert registry.counter("a.rows") is registry.counter("a.rows")
+        snap = registry.snapshot()
+        assert snap["counters"]["a.rows"] == 5.0
+        assert snap["gauges"]["a.depth"] == 9.0
+        assert snap["histograms"]["a.ms"]["count"] == 1
+
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        snap = registry.snapshot()
+        assert set(snap) == {"uptime_seconds", "counters", "gauges", "histograms"}
+        assert snap["uptime_seconds"] >= 0.0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("hot")
+                registry.observe("hot.ms", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["hot"] == 8000.0
+        assert snap["histograms"]["hot.ms"]["count"] == 8000

@@ -1,0 +1,76 @@
+"""Unit tests for the ``repro monitor`` frame renderer (pure dict → text)."""
+
+from __future__ import annotations
+
+from repro.obs.monitor import counter_rates, render_frame
+
+
+def _service_snapshot(**overrides):
+    snapshot = {
+        "uptime_seconds": 12.0,
+        "open_shards": 2,
+        "counters": {"flush.rows": 100.0, "pool.hits": 5.0},
+        "gauges": {"flush.pending_rows": 3.0},
+        "histograms": {"flush.ms": {"count": 10, "sum": 12.0, "p50": 1.0, "p95": 2.0, "p99": 3.0, "max": 4.0}},
+        "tail": {"streams": 1, "subscribers": 2, "subscribed_total": 4, "evicted_total": 1},
+        "jobs": {"queued": 1, "running": 0},
+    }
+    snapshot.update(overrides)
+    return snapshot
+
+
+class TestCounterRates:
+    def test_rates_are_per_second_deltas(self):
+        rates = counter_rates({"a": 30.0, "b": 5.0}, {"a": 10.0}, elapsed=2.0)
+        assert rates["a"] == 10.0
+        assert rates["b"] == 2.5  # new counter: previous value 0
+
+    def test_no_previous_frame_means_no_rates(self):
+        assert counter_rates({"a": 1.0}, None, elapsed=1.0) == {}
+        assert counter_rates({"a": 1.0}, {"a": 0.0}, elapsed=None) == {}
+
+    def test_counter_reset_reports_no_rate_instead_of_negative(self):
+        # A restarted worker resets its registry; the monitor must not
+        # render a wildly negative rate for that frame.
+        assert counter_rates({"a": 3.0}, {"a": 100.0}, elapsed=1.0) == {}
+
+
+class TestRenderFrame:
+    def test_service_frame_carries_every_section(self):
+        text = render_frame(_service_snapshot())
+        assert "[service] up 12s shards 2" in text
+        assert "jobs: queued=1  running=0" in text
+        assert "tail: subscribers=2 streams=1" in text
+        assert "flush.rows" in text and "100" in text
+        assert "(gauge)" in text
+        assert "p50=1.00 p95=2.00 p99=3.00 (n=10)" in text
+
+    def test_rates_appear_when_a_previous_frame_is_given(self):
+        previous = _service_snapshot(counters={"flush.rows": 40.0})
+        text = render_frame(_service_snapshot(), previous=previous, elapsed=2.0)
+        assert "(+30.0/s)" in text
+
+    def test_lead_counters_render_before_the_alphabetical_rest(self):
+        text = render_frame(_service_snapshot())
+        assert text.index("flush.rows") < text.index("pool.hits")
+
+    def test_router_fanin_frame(self):
+        snapshot = {
+            "role": "router",
+            "fleet": {"registered": 2, "alive": 2},
+            "counters": {"flush.rows": 10.0},
+            "gauges": {},
+            "tail": {"streams": 0, "subscribers": 0, "subscribed_total": 0, "evicted_total": 0},
+            "jobs": {"queued": 0},
+            "workers": {
+                "w0": {"open_shards": 1, "tail": {"subscribers": 3}},
+                "w1": {"error": "worker not registered"},
+            },
+        }
+        text = render_frame(snapshot)
+        assert "[router] workers 2/2" in text
+        assert "worker w0: shards=1 subscribers=3" in text
+        assert "worker w1: ERROR worker not registered" in text
+
+    def test_minimal_snapshot_does_not_crash(self):
+        assert render_frame({}) == "[service]"

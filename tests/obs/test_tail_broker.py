@@ -1,0 +1,130 @@
+"""Unit tests for the tail broker: wakeups, lag eviction, backpressure."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import TailBackpressureError
+from repro.obs import TailBroker
+
+
+class TestSubscribePublish:
+    def test_publish_wakes_only_that_streams_subscribers(self):
+        broker = TailBroker()
+        a = broker.subscribe("project:alpha")
+        b = broker.subscribe("project:beta")
+        assert broker.publish("project:alpha", rows=3) == 1
+        assert a.wait(0) is True
+        assert b.wait(0) is False
+
+    def test_wait_blocks_until_notified_across_threads(self):
+        broker = TailBroker()
+        subscription = broker.subscribe("s")
+        woken = []
+
+        def consumer():
+            woken.append(subscription.wait(5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        broker.publish("s")
+        thread.join(timeout=5)
+        assert woken == [True]
+
+    def test_signal_is_latched_if_publish_races_ahead_of_wait(self):
+        broker = TailBroker()
+        subscription = broker.subscribe("s")
+        broker.publish("s")  # before the consumer ever waits
+        assert subscription.wait(0) is True
+        assert subscription.wait(0) is False  # consumed
+
+    def test_unsubscribe_removes_the_stream_when_empty(self):
+        broker = TailBroker()
+        subscription = broker.subscribe("s")
+        subscription.close()
+        assert broker.stats()["streams"] == 0
+        assert broker.publish("s") == 0
+
+
+class TestLagEviction:
+    def test_slow_consumer_is_evicted_past_max_lag(self):
+        broker = TailBroker(max_lag=10)
+        slow = broker.subscribe("s")
+        fast = broker.subscribe("s")
+        broker.publish("s", rows=10)
+        fast.advance(10, 10)
+        assert slow.evicted is None  # lag == max_lag: still within bounds
+        broker.publish("s", rows=1)
+        fast.advance(11, 1)
+        assert slow.evicted is not None
+        assert fast.evicted is None
+        assert broker.stats()["evicted_total"] == 1
+
+    def test_rows_published_before_subscribing_never_count_as_lag(self):
+        broker = TailBroker(max_lag=5)
+        broker.publish("s", rows=1000)  # history
+        late = broker.subscribe("s")
+        broker.publish("s", rows=3)
+        assert late.evicted is None
+        assert late.lag() == 3.0
+
+    def test_eviction_wakes_the_blocked_consumer(self):
+        broker = TailBroker(max_lag=1)
+        subscription = broker.subscribe("s")
+        results = []
+
+        def consumer():
+            results.append(subscription.wait(5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        broker.publish("s", rows=5)  # lag 5 > 1: evict, which must wake
+        thread.join(timeout=5)
+        assert results == [True]
+        assert subscription.evicted is not None
+
+
+class TestBackpressure:
+    def test_subscriber_cap_raises(self):
+        broker = TailBroker(max_subscribers=2)
+        broker.subscribe("a")
+        broker.subscribe("b")
+        with pytest.raises(TailBackpressureError):
+            broker.subscribe("c")
+
+    def test_unsubscribe_frees_a_slot(self):
+        broker = TailBroker(max_subscribers=1)
+        first = broker.subscribe("a")
+        first.close()
+        broker.subscribe("a")  # does not raise
+
+    def test_close_evicts_everyone_and_refuses_new_subscriptions(self):
+        broker = TailBroker()
+        subscription = broker.subscribe("s")
+        broker.close()
+        assert subscription.evicted == "service shutting down"
+        with pytest.raises(TailBackpressureError):
+            broker.subscribe("s")
+
+    def test_constructor_validates_bounds(self):
+        with pytest.raises(ValueError):
+            TailBroker(max_subscribers=0)
+        with pytest.raises(ValueError):
+            TailBroker(max_lag=0)
+
+
+class TestStats:
+    def test_stats_shape(self):
+        broker = TailBroker(max_subscribers=5, max_lag=7)
+        broker.subscribe("a")
+        broker.subscribe("a")
+        broker.subscribe("b")
+        stats = broker.stats()
+        assert stats["streams"] == 2
+        assert stats["subscribers"] == 3
+        assert stats["subscribed_total"] == 3
+        assert stats["per_stream"] == {"a": 2, "b": 1}
+        assert stats["max_subscribers"] == 5
+        assert stats["max_lag"] == 7

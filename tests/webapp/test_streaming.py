@@ -1,0 +1,144 @@
+"""Streaming foundation tests: SSE framing, StreamingResponse, TestClient.sse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webapp.framework import (
+    SSEStream,
+    StreamingResponse,
+    TestClient,
+    WebApp,
+    iter_sse_events,
+    sse_comment,
+    sse_event,
+)
+
+
+class TestSSEFraming:
+    def test_event_frame_shape(self):
+        frame = sse_event({"a": 1}, event="log", id=7)
+        assert frame == 'event: log\nid: 7\ndata: {"a": 1}\n\n'
+
+    def test_bare_data_event(self):
+        assert sse_event("hello") == "data: hello\n\n"
+
+    def test_comment_frame(self):
+        assert sse_comment() == ": keepalive\n\n"
+        assert sse_comment("tail of alpha") == ": tail of alpha\n\n"
+
+    def test_roundtrip_through_the_parser(self):
+        frames = [sse_event({"n": i}, event="log", id=i) for i in range(3)]
+        events = list(iter_sse_events(frames))
+        assert [e.id for e in events] == ["0", "1", "2"]
+        assert [e.json()["n"] for e in events] == [0, 1, 2]
+        assert all(e.event == "log" for e in events)
+
+    def test_parser_handles_chunks_split_mid_frame(self):
+        whole = sse_event({"x": 1}, event="log", id=1) + sse_event({"x": 2}, event="log", id=2)
+        # Worst-case transport: one byte per chunk.
+        events = list(iter_sse_events(iter(list(whole))))
+        assert [e.json()["x"] for e in events] == [1, 2]
+
+    def test_parser_skips_comments_and_accepts_bytes(self):
+        chunks = [sse_comment().encode(), sse_event("d", id=3).encode()]
+        events = list(iter_sse_events(chunks))
+        assert len(events) == 1
+        assert events[0].data == "d"
+        assert events[0].id == "3"
+
+
+class TestStreamingResponse:
+    def test_headers_default_to_sse(self):
+        response = StreamingResponse(iter(["x"]))
+        assert response.headers["Content-Type"] == "text/event-stream"
+        assert response.headers["Cache-Control"] == "no-cache"
+
+    def test_explicit_headers_win(self):
+        response = StreamingResponse(iter(()), headers={"Content-Type": "text/plain"})
+        assert response.headers["Content-Type"] == "text/plain"
+
+    def test_close_propagates_to_the_generator(self):
+        released = []
+
+        def generate():
+            try:
+                yield "a"
+                yield "b"
+            finally:
+                released.append(True)
+
+        response = StreamingResponse(generate())
+        assert next(response.chunks) == "a"
+        response.close()
+        assert released == [True]
+
+
+class TestSSEStreamGuards:
+    def test_max_events_stops_and_closes(self):
+        closed = []
+
+        def generate():
+            try:
+                i = 0
+                while True:
+                    i += 1
+                    yield sse_event({"i": i}, id=i)
+            finally:
+                closed.append(True)
+
+        stream = SSEStream(generate())
+        events = stream.collect(max_events=3)
+        assert [e.json()["i"] for e in events] == [1, 2, 3]
+        assert closed == [True]
+
+    def test_timeout_bounds_a_never_ending_stream(self):
+        def generate():
+            while True:
+                yield sse_comment()  # keepalives only, no events
+
+        events = SSEStream(generate()).collect(timeout=0.2)
+        assert events == []
+
+
+class TestClientStreaming:
+    @pytest.fixture()
+    def app(self):
+        app = WebApp("streams")
+
+        @app.route("/feed")
+        def feed(_request):
+            def generate():
+                for i in range(5):
+                    yield sse_event({"i": i}, event="tick", id=i)
+
+            return StreamingResponse(generate())
+
+        @app.route("/missing")
+        def missing(_request):
+            from repro.webapp.framework import HttpError
+
+            raise HttpError(404, "nope")
+
+        return app
+
+    def test_sse_iterates_a_streaming_route_in_process(self, app):
+        stream = TestClient(app).sse("/feed")
+        assert stream.status == 200
+        events = stream.collect()
+        assert [e.json()["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert all(e.event == "tick" for e in events)
+
+    def test_sse_wraps_error_responses_with_status(self, app):
+        stream = TestClient(app).sse("/missing")
+        assert stream.status == 404
+
+    def test_get_headers_reach_the_handler(self, app):
+        @app.route("/echo-header")
+        def echo(request):
+            from repro.webapp.framework import JsonResponse
+
+            return JsonResponse({"last": request.headers.get("Last-Event-ID")})
+
+        response = TestClient(app).get("/echo-header", headers={"Last-Event-ID": "42"})
+        assert response.json() == {"last": "42"}
